@@ -1,0 +1,228 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure.
+// Each bench regenerates its artifact through internal/experiments and
+// reports the headline modeled metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation.
+//
+// Scale/size default to a fast setting (0.1× rule sets, 32 KB streams);
+// set CA_BENCH_SCALE=1.0 and CA_BENCH_BYTES=10485760 for paper-sized runs.
+package cacheautomaton
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"cacheautomaton/internal/apmodel"
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/baseline"
+	"cacheautomaton/internal/experiments"
+	"cacheautomaton/internal/workload"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+)
+
+func envFloat(key string, def float64) float64 {
+	if v := os.Getenv(key); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+// runner returns the shared (cached) experiment runner; the first bench
+// that needs a given (benchmark, design) pipeline pays for it.
+func runner() *experiments.Runner {
+	benchOnce.Do(func() {
+		benchRunner = experiments.NewRunner(experiments.Config{
+			Scale:      envFloat("CA_BENCH_SCALE", 0.1),
+			InputBytes: int(envFloat("CA_BENCH_BYTES", 32*1024)),
+			Seed:       1,
+		})
+	})
+	return benchRunner
+}
+
+func renderTo(b *testing.B, t *experiments.Table) {
+	b.Helper()
+	if err := t.Render(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTable1 regenerates benchmark characteristics (states, CCs,
+// largest CC, avg active states) for all 20 workloads under both designs.
+func BenchmarkTable1(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		renderTo(b, r.Table1())
+	}
+}
+
+// BenchmarkTable2 regenerates the switch-parameter table.
+func BenchmarkTable2(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		renderTo(b, r.Table2())
+	}
+}
+
+// BenchmarkTable3 regenerates pipeline delays; reports the two operating
+// frequencies.
+func BenchmarkTable3(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		renderTo(b, r.Table3())
+	}
+	var o arch.TimingOptions
+	b.ReportMetric(arch.NewDesign(arch.PerfOpt).OperatingFrequencyGHz(o), "CA_P-GHz")
+	b.ReportMetric(arch.NewDesign(arch.SpaceOpt).OperatingFrequencyGHz(o), "CA_S-GHz")
+}
+
+// BenchmarkTable4 regenerates the sense-amp-cycling / H-Bus ablations.
+func BenchmarkTable4(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		renderTo(b, r.Table4())
+	}
+	b.ReportMetric(arch.NewDesign(arch.PerfOpt).OperatingFrequencyGHz(arch.TimingOptions{NoSACycling: true}), "CA_P-noSA-GHz")
+	b.ReportMetric(arch.NewDesign(arch.PerfOpt).OperatingFrequencyGHz(arch.TimingOptions{HBus: true}), "CA_P-HBus-GHz")
+}
+
+// BenchmarkTable5 regenerates the HARE/UAP comparison on Dotstar09.
+func BenchmarkTable5(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		renderTo(b, r.Table5())
+	}
+	var o arch.TimingOptions
+	b.ReportMetric(arch.NewDesign(arch.PerfOpt).ThroughputGbps(o)/apmodel.HARE().ThroughputGbps, "CA_P-vs-HARE")
+	b.ReportMetric(arch.NewDesign(arch.PerfOpt).ThroughputGbps(o)/apmodel.UAP().ThroughputGbps, "CA_P-vs-UAP")
+}
+
+// BenchmarkFigure7 regenerates the throughput comparison; reports the AP
+// speedups (paper: 15× and 9×).
+func BenchmarkFigure7(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		renderTo(b, r.Figure7())
+	}
+	var o arch.TimingOptions
+	b.ReportMetric(arch.NewDesign(arch.PerfOpt).ThroughputGbps(o)/apmodel.APThroughputGbps, "CA_P-vs-AP")
+	b.ReportMetric(arch.NewDesign(arch.SpaceOpt).ThroughputGbps(o)/apmodel.APThroughputGbps, "CA_S-vs-AP")
+	b.ReportMetric(arch.NewDesign(arch.PerfOpt).ThroughputGbps(o)/apmodel.CPUThroughputGbps(), "CA_P-vs-CPU")
+}
+
+// BenchmarkFigure8 regenerates cache utilization; reports the averages
+// (paper: 1.2 MB and 0.725 MB at scale 1.0).
+func BenchmarkFigure8(b *testing.B) {
+	r := runner()
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = r.Figure8()
+		renderTo(b, tab)
+	}
+	if len(tab.Rows) > 0 {
+		last := tab.Rows[len(tab.Rows)-1]
+		if last[0] == "AVERAGE" {
+			if v, err := strconv.ParseFloat(last[1], 64); err == nil {
+				b.ReportMetric(v, "CA_P-avgMB")
+			}
+			if v, err := strconv.ParseFloat(last[2], 64); err == nil {
+				b.ReportMetric(v, "CA_S-avgMB")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates energy/power; reports the CA_S average
+// energy (paper: 2.3 nJ/symbol) and the Ideal-AP ratio (paper: ~3×).
+func BenchmarkFigure9(b *testing.B) {
+	r := runner()
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = r.Figure9()
+		renderTo(b, tab)
+	}
+	if len(tab.Rows) > 0 {
+		last := tab.Rows[len(tab.Rows)-1]
+		if last[0] == "AVERAGE" {
+			caS, err1 := strconv.ParseFloat(last[2], 64)
+			ap, err2 := strconv.ParseFloat(last[3], 64)
+			if err1 == nil {
+				b.ReportMetric(caS, "CA_S-nJ/sym")
+			}
+			if err1 == nil && err2 == nil && caS > 0 {
+				b.ReportMetric(ap/caS, "IdealAP/CA_S")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the design-space points.
+func BenchmarkFigure10(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		renderTo(b, r.Figure10())
+	}
+	b.ReportMetric(arch.NewDesign(arch.PerfOpt).Reachability(), "CA_P-reach")
+	b.ReportMetric(arch.NewDesign(arch.SpaceOpt).Reachability(), "CA_S-reach")
+}
+
+// BenchmarkPipelineSnortPerf measures the cold end-to-end pipeline
+// (build → map → simulate) for one representative benchmark.
+func BenchmarkPipelineSnortPerf(b *testing.B) {
+	spec := workload.ByName("Snort")
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Config{Scale: 0.05, InputBytes: 16 * 1024, Seed: int64(i + 1)})
+		run := r.Get(spec, arch.PerfOpt)
+		if run.Err != nil {
+			b.Fatal(run.Err)
+		}
+	}
+}
+
+// BenchmarkHostSimulatorThroughput measures the functional simulator's
+// host-side speed (bytes/s) and reports the modeled hardware line rate for
+// contrast.
+func BenchmarkHostSimulatorThroughput(b *testing.B) {
+	a, err := CompileRegex([]string{"needle[0-9]{4}", "other.*thing"}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]byte, 1<<20)
+	for i := range in {
+		in[i] = byte(i * 131)
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Count(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(a.ThroughputGbps(), "modeled-Gb/s")
+}
+
+// BenchmarkCPUBaselineNFAEngine measures the software active-set engine —
+// the compute-centric comparison point.
+func BenchmarkCPUBaselineNFAEngine(b *testing.B) {
+	spec := workload.ByName("Bro217")
+	n, err := spec.Build(1, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := baseline.NewNFAEngine(n)
+	in := spec.Input(1, 1<<20)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Run(in, false)
+	}
+}

@@ -1,0 +1,364 @@
+// Package cacheautomaton is a software reproduction of the Cache Automaton
+// (Subramaniyan et al., MICRO-50 2017): an in-cache accelerator for
+// Non-deterministic Finite Automata. It bundles a regex/ANML front-end, the
+// paper's compiler (connected-component packing + METIS-style k-way
+// partitioning under switch-connectivity budgets), a cycle-level functional
+// simulator of the mapped LLC design, and the calibrated timing/energy/area
+// model of the hardware.
+//
+// Quick start:
+//
+//	a, err := cacheautomaton.CompileRegex([]string{"cat", "dog.*food"}, cacheautomaton.Options{})
+//	if err != nil { ... }
+//	matches, stats, err := a.Run([]byte("the cat ate dog food"))
+//
+// Every match reports the rule index and the input offset of its last
+// symbol. Stats carries the modeled hardware metrics: cache footprint,
+// operating frequency, energy per symbol, and average power for the
+// simulated stream.
+package cacheautomaton
+
+import (
+	"fmt"
+	"io"
+
+	"cacheautomaton/internal/anml"
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/machine"
+	"cacheautomaton/internal/mapper"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/regexc"
+	"cacheautomaton/internal/rulefmt"
+	"cacheautomaton/internal/workload"
+)
+
+// Design selects which of the paper's two design points to target.
+type Design int
+
+const (
+	// Performance is CA_P: 2 GHz, one connected component per partition,
+	// within-way connectivity (paper §3.1).
+	Performance Design = iota
+	// Space is CA_S: 1.2 GHz, prefix/suffix-merged NFA, cross-way
+	// G-switches; ~40% less cache at 60% of the throughput.
+	Space
+)
+
+func (d Design) String() string {
+	if d == Performance {
+		return "CA_P"
+	}
+	return "CA_S"
+}
+
+func (d Design) kind() arch.DesignKind {
+	if d == Performance {
+		return arch.PerfOpt
+	}
+	return arch.SpaceOpt
+}
+
+// Options configure compilation and mapping.
+type Options struct {
+	// Design picks CA_P (default) or CA_S.
+	Design Design
+	// CaseInsensitive folds ASCII case in regex patterns.
+	CaseInsensitive bool
+	// DotExcludesNewline makes '.' skip '\n' in regex patterns.
+	DotExcludesNewline bool
+	// MaxRepeat caps {m,n} counted repetitions (default 256).
+	MaxRepeat int
+	// Seed makes the graph partitioner deterministic (default 0).
+	Seed int64
+	// KeepPerPatternStates disables state merging for the Space design
+	// (merging is what makes CA_S space-optimized, so leave this false
+	// unless you need state-to-pattern attribution).
+	KeepPerPatternStates bool
+}
+
+// Match is one report event.
+type Match struct {
+	// Offset is the input offset of the symbol completing the match.
+	Offset int64
+	// Pattern is the rule index (the regex's position in the compiled
+	// set, or the ANML reportcode).
+	Pattern int
+}
+
+// Stats summarizes a Run with the paper's metrics.
+type Stats struct {
+	// Cycles is the number of symbols processed (one per cycle).
+	Cycles int64
+	// Matches is the total report count.
+	Matches int64
+	// AvgActiveStates is the mean dynamically-active state count
+	// (Table 1's activity metric).
+	AvgActiveStates float64
+	// EnergyPJPerSymbol and AvgPowerW come from the calibrated energy
+	// model and the measured per-cycle activity (Fig. 9).
+	EnergyPJPerSymbol float64
+	AvgPowerW         float64
+	// ModeledSeconds is the time the hardware would take: cycles at the
+	// design's operating frequency.
+	ModeledSeconds float64
+}
+
+// Automaton is a compiled, mapped, executable Cache Automaton.
+type Automaton struct {
+	design    *arch.Design
+	nfa       *nfa.NFA
+	placement *mapper.Placement
+	machine   *machine.Machine
+}
+
+// CompileRegex compiles a rule set (one pattern per entry; matches report
+// the pattern index) and maps it onto the selected design.
+func CompileRegex(patterns []string, opts Options) (*Automaton, error) {
+	n, err := regexc.CompileSet(patterns, regexc.Options{
+		CaseInsensitive:    opts.CaseInsensitive,
+		DotExcludesNewline: opts.DotExcludesNewline,
+		MaxRepeat:          opts.MaxRepeat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromNFA(n, opts)
+}
+
+// CompileANML reads an ANML automata network (the Automata Processor's
+// XML interchange format) and maps it.
+func CompileANML(r io.Reader, opts Options) (*Automaton, error) {
+	net, err := anml.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromNFA(net.NFA, opts)
+}
+
+func fromNFA(n *nfa.NFA, opts Options) (*Automaton, error) {
+	design := arch.NewDesign(opts.Design.kind())
+	cfg := mapper.Config{
+		Design:         design,
+		Seed:           opts.Seed,
+		AllowChainedG4: opts.Design == Space,
+	}
+	var pl *mapper.Placement
+	var err error
+	if opts.Design == Space && !opts.KeepPerPatternStates {
+		// CA_S: state-merge with the compiler's back-off ladder.
+		pl, _, err = mapper.MapOptimized(n, cfg)
+	} else {
+		pl, err = mapper.Map(n, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cacheautomaton: %w", err)
+	}
+	m, err := machine.New(pl, machine.Options{CollectMatches: true})
+	if err != nil {
+		return nil, fmt.Errorf("cacheautomaton: %w", err)
+	}
+	return &Automaton{design: design, nfa: pl.NFA, placement: pl, machine: m}, nil
+}
+
+// Run resets the automaton, processes input, and returns the matches with
+// the modeled hardware statistics.
+func (a *Automaton) Run(input []byte) ([]Match, *Stats, error) {
+	a.machine.Reset()
+	res := a.machine.Run(input)
+	matches := make([]Match, len(res.Matches))
+	for i, m := range res.Matches {
+		matches[i] = Match{Offset: m.Offset, Pattern: int(m.Code)}
+	}
+	act := res.Activity.AvgActivity()
+	freqGHz := a.design.OperatingFrequencyGHz(arch.TimingOptions{})
+	st := &Stats{
+		Cycles:            res.Activity.Cycles,
+		Matches:           res.MatchCount,
+		AvgActiveStates:   res.Activity.AvgActiveStates(),
+		EnergyPJPerSymbol: a.design.SymbolEnergyPJ(act),
+		AvgPowerW:         a.design.PowerW(act),
+		ModeledSeconds:    float64(res.Activity.Cycles) / (freqGHz * 1e9),
+	}
+	return matches, st, nil
+}
+
+// Count processes input without collecting match records (for long
+// streams), returning only statistics.
+func (a *Automaton) Count(input []byte) (*Stats, error) {
+	m, err := machine.New(a.placement, machine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := m.Run(input)
+	act := res.Activity.AvgActivity()
+	freqGHz := a.design.OperatingFrequencyGHz(arch.TimingOptions{})
+	return &Stats{
+		Cycles:            res.Activity.Cycles,
+		Matches:           res.MatchCount,
+		AvgActiveStates:   res.Activity.AvgActiveStates(),
+		EnergyPJPerSymbol: a.design.SymbolEnergyPJ(act),
+		AvgPowerW:         a.design.PowerW(act),
+		ModeledSeconds:    float64(res.Activity.Cycles) / (freqGHz * 1e9),
+	}, nil
+}
+
+// States returns the mapped NFA's state count (after CA_S merging).
+func (a *Automaton) States() int { return a.nfa.NumStates() }
+
+// Partitions returns how many 256-STE partitions the mapping uses.
+func (a *Automaton) Partitions() int { return a.placement.NumPartitions() }
+
+// CacheUsageMB returns the LLC footprint (8 KB per partition, Fig. 8).
+func (a *Automaton) CacheUsageMB() float64 { return a.placement.UtilizationMB() }
+
+// FrequencyGHz returns the design's operating frequency (Table 3).
+func (a *Automaton) FrequencyGHz() float64 {
+	return a.design.OperatingFrequencyGHz(arch.TimingOptions{})
+}
+
+// ThroughputGbps returns the deterministic line rate: 8 bits per cycle.
+func (a *Automaton) ThroughputGbps() float64 {
+	return a.design.ThroughputGbps(arch.TimingOptions{})
+}
+
+// WriteANML exports the mapped NFA as an ANML document.
+func (a *Automaton) WriteANML(w io.Writer, networkID string) error {
+	return anml.Write(w, a.nfa, networkID, nil)
+}
+
+// WriteDOT exports the mapped NFA in Graphviz DOT form.
+func (a *Automaton) WriteDOT(w io.Writer, name string) error {
+	return a.nfa.WriteDOT(w, name)
+}
+
+// CompileFuzzy builds an automaton that reports every position where a
+// substring within edit distance maxDist of one of the patterns ends
+// (insertions, deletions and substitutions all count 1). This is the
+// Levenshtein workload of the paper's Table 1, exposed as a library
+// feature; matches report the pattern index.
+func CompileFuzzy(patterns []string, maxDist int, opts Options) (*Automaton, error) {
+	n := nfa.New()
+	for i, p := range patterns {
+		if len(p) == 0 || maxDist < 0 || maxDist >= len(p) {
+			return nil, fmt.Errorf("cacheautomaton: pattern %d: need 0 ≤ maxDist < len(pattern)", i)
+		}
+		n.Union(workload.LevenshteinNFA(p, maxDist, int32(i)))
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return fromNFA(n, opts)
+}
+
+// Stream is a stateful scanner over a continuous input: feed chunks as
+// they arrive, and suspend/resume across process lifetimes by serializing
+// the architectural state (the paper's §2.9 suspend model: "recording the
+// number of input symbols processed and the active state vector to
+// memory").
+type Stream struct {
+	a *Automaton
+	m *machine.Machine
+	// delivered counts matches already returned by Feed.
+	delivered int
+}
+
+// Stream opens an independent scanner positioned at offset 0.
+func (a *Automaton) Stream() (*Stream, error) {
+	m, err := machine.New(a.placement, machine.Options{CollectMatches: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{a: a, m: m}, nil
+}
+
+// Feed consumes the next chunk and returns the matches it produced
+// (offsets are absolute within the whole stream).
+func (s *Stream) Feed(chunk []byte) []Match {
+	res := s.m.Run(chunk)
+	fresh := res.Matches[s.delivered:]
+	s.delivered = len(res.Matches)
+	out := make([]Match, 0, len(fresh))
+	for _, m := range fresh {
+		out = append(out, Match{Offset: m.Offset, Pattern: int(m.Code)})
+	}
+	return out
+}
+
+// Pos returns the absolute offset of the next symbol.
+func (s *Stream) Pos() int64 { return s.m.Pos() }
+
+// Suspend serializes the stream's architectural state.
+func (s *Stream) Suspend(w io.Writer) error {
+	_, err := s.m.Snapshot().WriteTo(w)
+	return err
+}
+
+// ResumeStream reopens a stream from a Suspend-serialized state. The
+// automaton must be the same one (same rules, design and seed).
+func (a *Automaton) ResumeStream(r io.Reader) (*Stream, error) {
+	snap, err := machine.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := a.Stream()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.m.Restore(snap); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PeakPowerHintW is the compiler's coarse peak-power scheduling hint for
+// this mapping (§2.9).
+func (a *Automaton) PeakPowerHintW() float64 { return a.placement.PeakPowerHintW() }
+
+// ConfigurationTimeMS models the one-time cost of loading STE pages and
+// programming switches for this mapping (§2.10; ≈0.2 ms for the paper's
+// largest benchmark, vs tens of ms on the AP).
+func (a *Automaton) ConfigurationTimeMS() float64 {
+	return arch.ConfigurationTimeMS(a.placement.NumPartitions())
+}
+
+// ReplicationFactor returns how many independent copies of this automaton
+// fit in cacheBudgetMB — the §5.2 space-to-throughput conversion ("these
+// space savings can be directly translated to speedup by matching against
+// multiple NFA instances").
+func (a *Automaton) ReplicationFactor(cacheBudgetMB float64) int {
+	u := a.CacheUsageMB()
+	if u <= 0 {
+		return 0
+	}
+	return int(cacheBudgetMB / u)
+}
+
+// CompileSnortRules compiles a Snort-style rule file (content/pcre/nocase/
+// sid options) into an automaton whose matches report each rule's sid as
+// the Pattern field.
+func CompileSnortRules(text string, opts Options) (*Automaton, error) {
+	rules, err := rulefmt.ParseSnortRules(text)
+	if err != nil {
+		return nil, err
+	}
+	n, err := rulefmt.CompileSnort(rules)
+	if err != nil {
+		return nil, err
+	}
+	return fromNFA(n, opts)
+}
+
+// CompileClamAVDatabase compiles a ClamAV-style hex-signature database
+// (one "Name:hexsig" per line; ?? wildcards and {n} skips supported).
+// Matches report the signature's index into the returned name list.
+func CompileClamAVDatabase(text string, opts Options) (*Automaton, []string, error) {
+	n, names, err := rulefmt.CompileClamAV(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := fromNFA(n, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, names, nil
+}

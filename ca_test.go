@@ -1,0 +1,272 @@
+package cacheautomaton
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCompileRegexAndRun(t *testing.T) {
+	a, err := CompileRegex([]string{"cat", "dog.*food"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, stats, err := a.Run([]byte("the cat ate dog brand food"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v, want cat + dog.*food", matches)
+	}
+	if matches[0].Pattern != 0 || matches[0].Offset != 6 {
+		t.Errorf("first match = %+v, want pattern 0 at offset 6", matches[0])
+	}
+	if matches[1].Pattern != 1 {
+		t.Errorf("second match = %+v, want pattern 1", matches[1])
+	}
+	if stats.Cycles != 26 || stats.Matches != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.EnergyPJPerSymbol <= 0 || stats.AvgPowerW <= 0 || stats.ModeledSeconds <= 0 {
+		t.Errorf("hardware stats not populated: %+v", stats)
+	}
+}
+
+func TestRunIsRepeatable(t *testing.T) {
+	a, err := CompileRegex([]string{"abab"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ms, _, err := a.Run([]byte("xababab"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 2 {
+			t.Fatalf("run %d: matches = %v", i, ms)
+		}
+	}
+}
+
+func TestDesigns(t *testing.T) {
+	pats := []string{"^prefix[0-9]{3}", "shared-tail-one", "shared-tail-two"}
+	perf, err := CompileRegex(pats, Options{Design: Performance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := CompileRegex(pats, Options{Design: Space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.FrequencyGHz() != 2.0 || space.FrequencyGHz() != 1.2 {
+		t.Errorf("frequencies = %v, %v", perf.FrequencyGHz(), space.FrequencyGHz())
+	}
+	if perf.ThroughputGbps() != 16 {
+		t.Errorf("CA_P throughput = %v", perf.ThroughputGbps())
+	}
+	if space.States() >= perf.States() {
+		t.Errorf("Space design should merge states: %d vs %d", space.States(), perf.States())
+	}
+	in := []byte("prefix123 and shared-tail-two here") // ^-anchored rule needs offset 0
+	mp, _, _ := perf.Run(in)
+	msp, _, _ := space.Run(in)
+	if len(mp) != 2 || len(msp) != 2 {
+		t.Fatalf("both designs should find 2 matches: %v vs %v", mp, msp)
+	}
+	for i := range mp {
+		if mp[i] != msp[i] {
+			t.Errorf("designs disagree: %v vs %v", mp[i], msp[i])
+		}
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	if Performance.String() != "CA_P" || Space.String() != "CA_S" {
+		t.Error("Design strings wrong")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := CompileRegex([]string{"(unclosed"}, Options{}); err == nil {
+		t.Error("bad regex should error")
+	}
+	if _, err := CompileRegex([]string{"a*"}, Options{}); err == nil {
+		t.Error("nullable pattern should error")
+	}
+	if _, err := CompileANML(strings.NewReader("not xml"), Options{}); err == nil {
+		t.Error("bad ANML should error")
+	}
+}
+
+func TestANMLRoundTripThroughFacade(t *testing.T) {
+	a, err := CompileRegex([]string{"hello", "wor[lk]d"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteANML(&buf, "export"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileANML(&buf, Options{})
+	if err != nil {
+		t.Fatalf("re-import failed: %v", err)
+	}
+	in := []byte("hello workd")
+	m1, _, _ := a.Run(in)
+	m2, _, _ := b.Run(in)
+	if len(m1) != len(m2) || len(m1) != 2 {
+		t.Fatalf("round trip changed matches: %v vs %v", m1, m2)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	a, err := CompileRegex([]string{"Virus"}, Options{CaseInsensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, _ := a.Run([]byte("VIRUS virus ViRuS"))
+	if len(ms) != 3 {
+		t.Fatalf("matches = %v, want 3", ms)
+	}
+}
+
+func TestCountLongStream(t *testing.T) {
+	a, err := CompileRegex([]string{"needle"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bytes.Repeat([]byte("haystack needle "), 1000)
+	st, err := a.Count(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != 1000 {
+		t.Errorf("matches = %d, want 1000", st.Matches)
+	}
+	if st.Cycles != int64(len(in)) {
+		t.Errorf("cycles = %d, want %d", st.Cycles, len(in))
+	}
+}
+
+func TestInfoMethods(t *testing.T) {
+	a, err := CompileRegex([]string{"abcdef"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.States() != 6 {
+		t.Errorf("States = %d", a.States())
+	}
+	if a.Partitions() != 1 {
+		t.Errorf("Partitions = %d", a.Partitions())
+	}
+	if got := a.CacheUsageMB(); got != 8.0/1024 {
+		t.Errorf("CacheUsageMB = %v", got)
+	}
+	var dot bytes.Buffer
+	if err := a.WriteDOT(&dot, "g"); err != nil || !strings.Contains(dot.String(), "digraph") {
+		t.Error("WriteDOT failed")
+	}
+}
+
+func TestStreamFeedAndSuspendResume(t *testing.T) {
+	a, err := CompileRegex([]string{"handoff"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Feed([]byte("...hand")); len(got) != 0 {
+		t.Fatalf("premature matches: %v", got)
+	}
+	// Suspend mid-match, resume in a "new process".
+	var state bytes.Buffer
+	if err := s.Suspend(&state); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.ResumeStream(&state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Pos() != 7 {
+		t.Fatalf("resumed Pos = %d, want 7", s2.Pos())
+	}
+	got := s2.Feed([]byte("off..."))
+	if len(got) != 1 || got[0].Offset != 9 || got[0].Pattern != 0 {
+		t.Fatalf("resumed stream matches = %v, want one at offset 9", got)
+	}
+}
+
+func TestStreamIncrementalDelivery(t *testing.T) {
+	a, err := CompileRegex([]string{"ab"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.Stream()
+	total := 0
+	for _, chunk := range []string{"ab", "ab", "xxab"} {
+		total += len(s.Feed([]byte(chunk)))
+	}
+	if total != 3 {
+		t.Fatalf("delivered %d matches, want 3", total)
+	}
+	// No duplicates on empty feed.
+	if got := s.Feed(nil); len(got) != 0 {
+		t.Fatalf("empty feed returned %v", got)
+	}
+}
+
+func TestSystemHints(t *testing.T) {
+	a, err := CompileRegex([]string{"pattern[0-9]{2}"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeakPowerHintW() <= 0 {
+		t.Error("peak power hint should be positive")
+	}
+	if a.ConfigurationTimeMS() <= 0 {
+		t.Error("configuration time should be positive")
+	}
+	// One partition (8KB) replicates ~2560 times into a 20MB LLC.
+	if got := a.ReplicationFactor(20); got != 2560 {
+		t.Errorf("ReplicationFactor(20MB) = %d, want 2560", got)
+	}
+	if a.ReplicationFactor(0) != 0 {
+		t.Error("zero budget should give zero replicas")
+	}
+}
+
+func TestCompileSnortRulesFacade(t *testing.T) {
+	rules := `alert tcp any any (msg:"probe"; content:"/cgi-bin/phf"; sid:42;)
+alert tcp any any (pcre:"/exploit[0-9]+z/i"; sid:43;)`
+	a, err := CompileSnortRules(rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, _ := a.Run([]byte("GET /cgi-bin/phf and EXPLOIT99z"))
+	sids := map[int]bool{}
+	for _, m := range ms {
+		sids[m.Pattern] = true
+	}
+	if !sids[42] || !sids[43] {
+		t.Fatalf("sids = %v, want 42 and 43", sids)
+	}
+	if _, err := CompileSnortRules("garbage", Options{}); err == nil {
+		t.Error("bad rules should error")
+	}
+}
+
+func TestCompileClamAVFacade(t *testing.T) {
+	a, names, err := CompileClamAVDatabase("Sig.A:414243\nSig.B:58??5a", Options{Design: Space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "Sig.A" {
+		t.Fatalf("names = %v", names)
+	}
+	ms, _, _ := a.Run([]byte("..ABC..XqZ.."))
+	if len(ms) != 2 {
+		t.Fatalf("matches = %v, want both signatures", ms)
+	}
+}

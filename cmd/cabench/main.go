@@ -1,0 +1,75 @@
+// Command cabench regenerates the paper's evaluation: every table and
+// figure, or a chosen subset, at a configurable benchmark scale and input
+// size.
+//
+// Usage:
+//
+//	cabench [-scale 1.0] [-size 1048576] [-seed 1] [-bench Snort,Brill]
+//	        [-exp all|summary|table1|table2|table3|table4|table5|
+//	              figure7|figure8|figure9|figure10|case-er]
+//
+// The paper's runs use 10 MB inputs and full-size rule sets (-scale 1
+// -size 10485760); the trends are stable at much smaller settings, which
+// run in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cacheautomaton/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "benchmark scale (1.0 = paper-sized NFAs)")
+	size := flag.Int("size", 1<<20, "input stream bytes to simulate")
+	seed := flag.Int64("seed", 1, "generator seed")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default all 20)")
+	exp := flag.String("exp", "all", "experiment to run: all, summary, table1-5, figure7-10, case-er, replication")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, InputBytes: *size, Seed: *seed}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	r := experiments.NewRunner(cfg)
+
+	type entry struct {
+		name string
+		fn   func() *experiments.Table
+	}
+	all := []entry{
+		{"table1", r.Table1},
+		{"table2", r.Table2},
+		{"table3", r.Table3},
+		{"table4", r.Table4},
+		{"table5", r.Table5},
+		{"figure7", r.Figure7},
+		{"figure8", r.Figure8},
+		{"figure9", r.Figure9},
+		{"figure10", r.Figure10},
+		{"case-er", r.CaseStudyER},
+		{"replication", r.Replication},
+		{"host-baseline", r.HostBaseline},
+		{"summary", r.Summary},
+	}
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, e := range all {
+		if want != "all" && want != e.name {
+			continue
+		}
+		if err := e.fn().Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "cabench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

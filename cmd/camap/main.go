@@ -1,0 +1,170 @@
+// Command camap compiles a rule set (regex list or ANML file, or a named
+// synthetic benchmark) and reports how the Cache Automaton compiler maps
+// it: partitions, ways, cache footprint, switch usage, and budget headroom.
+//
+// Usage:
+//
+//	camap -rules rules.txt [-design perf|space] [-seed 1]
+//	camap -anml machine.anml -design space
+//	camap -bench EntityResolution -scale 0.2 -design space
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/bitstream"
+	"cacheautomaton/internal/mapper"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/workload"
+
+	"cacheautomaton/internal/anml"
+	"cacheautomaton/internal/regexc"
+)
+
+func main() {
+	rules := flag.String("rules", "", "file with one regex per line ('-' for stdin)")
+	anmlFile := flag.String("anml", "", "ANML automata-network file")
+	bench := flag.String("bench", "", "synthetic benchmark name (see cabench)")
+	scale := flag.Float64("scale", 1.0, "benchmark scale (with -bench)")
+	design := flag.String("design", "perf", "perf (CA_P) or space (CA_S)")
+	seed := flag.Int64("seed", 1, "partitioner seed")
+	caseIns := flag.Bool("i", false, "case-insensitive regex")
+	imageOut := flag.String("o", "", "write the configuration bitstream image to this file")
+	dotOut := flag.String("dot", "", "write the partition graph (Graphviz DOT) to this file")
+	flag.Parse()
+
+	n, err := loadNFA(*rules, *anmlFile, *bench, *scale, *seed, *caseIns)
+	if err != nil {
+		fatal(err)
+	}
+	kind := arch.PerfOpt
+	if strings.HasPrefix(*design, "s") {
+		kind = arch.SpaceOpt
+	}
+	before := n.ComputeStats()
+	pl, level, err := mapper.MapOptimized(n, mapper.Config{
+		Design:         arch.NewDesign(kind),
+		Seed:           *seed,
+		AllowChainedG4: kind == arch.SpaceOpt,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if kind == arch.SpaceOpt {
+		fmt.Printf("state merging:       %d → %d states (ladder level: %v)\n",
+			before.States, pl.NFA.NumStates(), level)
+	}
+	st := pl.ComputeStats()
+	nst := pl.NFA.ComputeStats()
+	fmt.Printf("design:              %v\n", kind)
+	fmt.Printf("states:              %d (input %d)\n", nst.States, before.States)
+	fmt.Printf("edges:               %d\n", nst.Edges)
+	fmt.Printf("connected components:%d (largest %d)\n", nst.ConnectedComponents, nst.LargestCC)
+	fmt.Printf("partitions:          %d (avg fill %.1f%%)\n", st.Partitions, st.AvgFill*100)
+	fmt.Printf("ways / slices:       %d / %d\n", st.WaysUsed, st.SlicesUsed)
+	fmt.Printf("cache footprint:     %.3f MB\n", st.UtilizationMB)
+	fmt.Printf("edges by switch:     local %d, G1 %d, G4 %d, chained %d\n",
+		st.LocalEdges, st.G1Edges, st.G4Edges, st.ChainedEdges)
+	fmt.Printf("budget use:          out %d/%d, in %d/%d signals\n",
+		st.MaxOutSignals, budget(kind), st.MaxInSignals, budget(kind))
+	d := arch.NewDesign(kind)
+	fmt.Printf("operating frequency: %.2f GHz (%.1f Gb/s)\n",
+		d.OperatingFrequencyGHz(arch.TimingOptions{}), d.ThroughputGbps(arch.TimingOptions{}))
+	fmt.Printf("config image:        %d KB, ~%.3f ms to load\n",
+		bitstream.ImageSizeBytes(pl)/1024, arch.ConfigurationTimeMS(pl.NumPartitions()))
+	fmt.Printf("peak power hint:     %.2f W\n", pl.PeakPowerHintW())
+	if *imageOut != "" {
+		f, err := os.Create(*imageOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bitstream.Write(f, pl); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *imageOut)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pl.WriteDOT(f, "placement"); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+}
+
+func budget(kind arch.DesignKind) int {
+	d := arch.NewDesign(kind)
+	return d.G1SignalsPerPartition + d.G4SignalsPerPartition
+}
+
+func loadNFA(rules, anmlFile, bench string, scale float64, seed int64, caseIns bool) (*nfa.NFA, error) {
+	switch {
+	case bench != "":
+		spec := workload.ByName(bench)
+		if spec == nil {
+			return nil, fmt.Errorf("unknown benchmark %q (have: %s)", bench, strings.Join(workload.Names(), ", "))
+		}
+		return spec.Build(seed, scale)
+	case anmlFile != "":
+		f, err := os.Open(anmlFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		net, err := anml.Read(f)
+		if err != nil {
+			return nil, err
+		}
+		return net.NFA, nil
+	case rules != "":
+		pats, err := readLines(rules)
+		if err != nil {
+			return nil, err
+		}
+		return regexc.CompileSet(pats, regexc.Options{CaseInsensitive: caseIns})
+	default:
+		return nil, fmt.Errorf("one of -rules, -anml, -bench is required")
+	}
+}
+
+func readLines(path string) ([]string, error) {
+	var r *bufio.Scanner
+	if path == "-" {
+		r = bufio.NewScanner(os.Stdin)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = bufio.NewScanner(f)
+	}
+	r.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []string
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, r.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "camap:", err)
+	os.Exit(1)
+}

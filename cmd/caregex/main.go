@@ -1,0 +1,51 @@
+// Command caregex compiles a regex rule set to an ANML automata network on
+// stdout — the front half of the paper's toolchain, usable to feed other
+// ANML consumers (e.g. VASim or AP SDK tooling).
+//
+// Usage:
+//
+//	caregex -rules rules.txt [-id network-name] [-i] > machine.anml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cacheautomaton/internal/anml"
+	"cacheautomaton/internal/regexc"
+)
+
+func main() {
+	rules := flag.String("rules", "", "file with one regex per line")
+	id := flag.String("id", "cacheautomaton", "automata-network id")
+	caseIns := flag.Bool("i", false, "case-insensitive")
+	flag.Parse()
+	if *rules == "" {
+		fatal(fmt.Errorf("-rules is required"))
+	}
+	data, err := os.ReadFile(*rules)
+	if err != nil {
+		fatal(err)
+	}
+	var pats []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			pats = append(pats, line)
+		}
+	}
+	n, err := regexc.CompileSet(pats, regexc.Options{CaseInsensitive: *caseIns})
+	if err != nil {
+		fatal(err)
+	}
+	if err := anml.Write(os.Stdout, n, *id, nil); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "caregex:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command carun executes a rule set over an input stream on the simulated
+// Cache Automaton and prints the matches and modeled hardware statistics.
+//
+// Usage:
+//
+//	carun -rules rules.txt -in data.bin [-design perf|space] [-max 20]
+//	echo "some text" | carun -rules rules.txt -in -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	ca "cacheautomaton"
+)
+
+func main() {
+	rules := flag.String("rules", "", "file with one regex per line")
+	snort := flag.String("snort", "", "Snort-style rule file (content/pcre/sid)")
+	clamav := flag.String("clamav", "", "ClamAV-style hex-signature database")
+	in := flag.String("in", "-", "input file ('-' for stdin)")
+	design := flag.String("design", "perf", "perf (CA_P) or space (CA_S)")
+	maxPrint := flag.Int("max", 20, "print at most this many matches")
+	caseIns := flag.Bool("i", false, "case-insensitive")
+	flag.Parse()
+	opts := ca.Options{CaseInsensitive: *caseIns}
+	if strings.HasPrefix(*design, "s") {
+		opts.Design = ca.Space
+	}
+	var a *ca.Automaton
+	var err error
+	switch {
+	case *snort != "":
+		text, rerr := os.ReadFile(*snort)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		a, err = ca.CompileSnortRules(string(text), opts)
+	case *clamav != "":
+		text, rerr := os.ReadFile(*clamav)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		a, _, err = ca.CompileClamAVDatabase(string(text), opts)
+	case *rules != "":
+		pats, rerr := readLines(*rules)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		a, err = ca.CompileRegex(pats, opts)
+	default:
+		fatal(fmt.Errorf("one of -rules, -snort, -clamav is required"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	data, err := readAll(*in)
+	if err != nil {
+		fatal(err)
+	}
+	matches, stats, err := a.Run(data)
+	if err != nil {
+		fatal(err)
+	}
+	for i, m := range matches {
+		if i >= *maxPrint {
+			fmt.Printf("... and %d more\n", len(matches)-*maxPrint)
+			break
+		}
+		fmt.Printf("match: rule %d at offset %d\n", m.Pattern, m.Offset)
+	}
+	fmt.Printf("-- %s: %d states in %d partitions (%.3f MB of LLC)\n",
+		opts.Design, a.States(), a.Partitions(), a.CacheUsageMB())
+	fmt.Printf("-- %d symbols, %d matches, avg %.1f active states\n",
+		stats.Cycles, stats.Matches, stats.AvgActiveStates)
+	fmt.Printf("-- modeled: %.2f GHz, %.0f ns runtime, %.1f pJ/symbol, %.2f W\n",
+		a.FrequencyGHz(), stats.ModeledSeconds*1e9, stats.EnergyPJPerSymbol, stats.AvgPowerW)
+}
+
+func readAll(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func readLines(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "carun:", err)
+	os.Exit(1)
+}

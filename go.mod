@@ -1,0 +1,3 @@
+module cacheautomaton
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package anml reads and writes the Automata Network Markup Language — the
+// XML interchange format of Micron's Automata Processor that the paper's
+// compiler consumes ("The compiler takes as input an NFA described in a
+// compact XML-like format (ANML)", §3). Only the STE subset relevant to
+// NFA processing is supported: state-transition-elements with symbol sets,
+// start attributes, activation edges and report codes (no counters or
+// boolean elements).
+package anml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/regexc"
+)
+
+// Network couples an NFA with its ANML identifiers.
+type Network struct {
+	// ID is the automata-network id attribute.
+	ID string
+	// NFA is the decoded automaton.
+	NFA *nfa.NFA
+	// STEIDs holds the original element id of each state.
+	STEIDs []string
+}
+
+type xmlDoc struct {
+	XMLName xml.Name   `xml:"anml"`
+	Version string     `xml:"version,attr,omitempty"`
+	Network xmlNetwork `xml:"automata-network"`
+}
+
+type xmlNetwork struct {
+	ID   string   `xml:"id,attr,omitempty"`
+	STEs []xmlSTE `xml:"state-transition-element"`
+}
+
+type xmlSTE struct {
+	ID        string        `xml:"id,attr"`
+	SymbolSet string        `xml:"symbol-set,attr"`
+	Start     string        `xml:"start,attr,omitempty"`
+	Activate  []xmlActivate `xml:"activate-on-match"`
+	Report    *xmlReport    `xml:"report-on-match"`
+}
+
+type xmlActivate struct {
+	Element string `xml:"element,attr"`
+}
+
+type xmlReport struct {
+	Code string `xml:"reportcode,attr,omitempty"`
+}
+
+// Read decodes an ANML document into a Network.
+func Read(r io.Reader) (*Network, error) {
+	var doc xmlDoc
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	net := &Network{ID: doc.Network.ID, NFA: nfa.New()}
+	idToState := make(map[string]nfa.StateID, len(doc.Network.STEs))
+	for _, ste := range doc.Network.STEs {
+		if ste.ID == "" {
+			return nil, fmt.Errorf("anml: state-transition-element without id")
+		}
+		if _, dup := idToState[ste.ID]; dup {
+			return nil, fmt.Errorf("anml: duplicate element id %q", ste.ID)
+		}
+		class, err := regexc.ParseClass(ste.SymbolSet)
+		if err != nil {
+			return nil, fmt.Errorf("anml: element %q symbol-set: %w", ste.ID, err)
+		}
+		st := nfa.State{Class: class}
+		switch ste.Start {
+		case "", "none":
+			st.Start = nfa.NoStart
+		case "start-of-data":
+			st.Start = nfa.StartOfData
+		case "all-input":
+			st.Start = nfa.AllInput
+		default:
+			return nil, fmt.Errorf("anml: element %q has unknown start type %q", ste.ID, ste.Start)
+		}
+		if ste.Report != nil {
+			st.Report = true
+			if ste.Report.Code != "" {
+				code, err := strconv.ParseInt(ste.Report.Code, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("anml: element %q reportcode %q: %w", ste.ID, ste.Report.Code, err)
+				}
+				st.ReportCode = int32(code)
+			}
+		}
+		id := net.NFA.AddState(st)
+		idToState[ste.ID] = id
+		net.STEIDs = append(net.STEIDs, ste.ID)
+	}
+	// Second pass: edges (targets may be declared after sources).
+	for _, ste := range doc.Network.STEs {
+		src := idToState[ste.ID]
+		for _, act := range ste.Activate {
+			dst, ok := idToState[act.Element]
+			if !ok {
+				return nil, fmt.Errorf("anml: element %q activates unknown element %q", ste.ID, act.Element)
+			}
+			net.NFA.AddEdge(src, dst)
+		}
+	}
+	if err := net.NFA.Validate(); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	return net, nil
+}
+
+// Write encodes the NFA as an ANML document. State i is given the element
+// id "__i" unless steIDs supplies names (len must equal the state count).
+func Write(w io.Writer, n *nfa.NFA, networkID string, steIDs []string) error {
+	if steIDs != nil && len(steIDs) != n.NumStates() {
+		return fmt.Errorf("anml: %d ste ids for %d states", len(steIDs), n.NumStates())
+	}
+	name := func(i int) string {
+		if steIDs != nil {
+			return steIDs[i]
+		}
+		return "__" + strconv.Itoa(i)
+	}
+	doc := xmlDoc{Version: "1.0", Network: xmlNetwork{ID: networkID}}
+	for i := range n.States {
+		s := &n.States[i]
+		ste := xmlSTE{ID: name(i), SymbolSet: s.Class.String()}
+		switch s.Start {
+		case nfa.StartOfData:
+			ste.Start = "start-of-data"
+		case nfa.AllInput:
+			ste.Start = "all-input"
+		}
+		outs := append([]nfa.StateID(nil), s.Out...)
+		sort.Slice(outs, func(a, b int) bool { return outs[a] < outs[b] })
+		for _, v := range outs {
+			ste.Activate = append(ste.Activate, xmlActivate{Element: name(int(v))})
+		}
+		if s.Report {
+			ste.Report = &xmlReport{Code: strconv.FormatInt(int64(s.ReportCode), 10)}
+		}
+		doc.Network.STEs = append(doc.Network.STEs, ste)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("anml: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

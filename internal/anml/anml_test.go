@@ -1,0 +1,183 @@
+package anml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/regexc"
+)
+
+const sampleDoc = `<?xml version="1.0" encoding="UTF-8"?>
+<anml version="1.0">
+  <automata-network id="sample">
+    <state-transition-element id="s0" symbol-set="[ab]" start="all-input">
+      <activate-on-match element="s1"/>
+    </state-transition-element>
+    <state-transition-element id="s1" symbol-set="c">
+      <activate-on-match element="s2"/>
+      <activate-on-match element="s1"/>
+    </state-transition-element>
+    <state-transition-element id="s2" symbol-set="[x-z]">
+      <report-on-match reportcode="42"/>
+    </state-transition-element>
+  </automata-network>
+</anml>
+`
+
+func TestReadSample(t *testing.T) {
+	net, err := Read(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.ID != "sample" {
+		t.Errorf("network id = %q, want sample", net.ID)
+	}
+	n := net.NFA
+	if n.NumStates() != 3 {
+		t.Fatalf("states = %d, want 3", n.NumStates())
+	}
+	if n.States[0].Start != nfa.AllInput {
+		t.Error("s0 should be all-input")
+	}
+	if !n.States[0].Class.Has('a') || !n.States[0].Class.Has('b') || n.States[0].Class.Count() != 2 {
+		t.Errorf("s0 class wrong: %v", n.States[0].Class)
+	}
+	if got := n.States[1].Out; len(got) != 2 {
+		t.Errorf("s1 should have 2 out edges (self loop + s2), got %v", got)
+	}
+	if !n.States[2].Report || n.States[2].ReportCode != 42 {
+		t.Error("s2 should report with code 42")
+	}
+	// Semantics: matches (a|b)c+[x-z].
+	ms := nfa.RunAll(n, []byte("accz"))
+	if len(ms) != 1 || ms[0].Offset != 3 {
+		t.Fatalf("matches = %v, want one at offset 3", ms)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown activate": `<anml><automata-network>
+			<state-transition-element id="a" symbol-set="x" start="all-input">
+			<activate-on-match element="nope"/></state-transition-element>
+			</automata-network></anml>`,
+		"duplicate id": `<anml><automata-network>
+			<state-transition-element id="a" symbol-set="x" start="all-input"/>
+			<state-transition-element id="a" symbol-set="y"/>
+			</automata-network></anml>`,
+		"bad start": `<anml><automata-network>
+			<state-transition-element id="a" symbol-set="x" start="sometimes"/>
+			</automata-network></anml>`,
+		"bad symbol set": `<anml><automata-network>
+			<state-transition-element id="a" symbol-set="[z-a]" start="all-input"/>
+			</automata-network></anml>`,
+		"bad report code": `<anml><automata-network>
+			<state-transition-element id="a" symbol-set="x" start="all-input">
+			<report-on-match reportcode="xyz"/></state-transition-element>
+			</automata-network></anml>`,
+		"missing id": `<anml><automata-network>
+			<state-transition-element symbol-set="x" start="all-input"/>
+			</automata-network></anml>`,
+		"no start states": `<anml><automata-network>
+			<state-transition-element id="a" symbol-set="x"/>
+			</automata-network></anml>`,
+		"not xml": `this is not xml at all <<<`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Read should fail", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	pats := []string{"abc", "a[bc]+d", "x.*y", "^hdr[0-9]{2}"}
+	orig, err := regexc.CompileSet(pats, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig, "rt", nil); err != nil {
+		t.Fatal(err)
+	}
+	net, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("re-read failed: %v\ndoc:\n%s", err, buf.String())
+	}
+	got := net.NFA
+	if got.NumStates() != orig.NumStates() {
+		t.Fatalf("states %d, want %d", got.NumStates(), orig.NumStates())
+	}
+	// Structural equality (Write preserves state order).
+	for i := range orig.States {
+		o, g := orig.States[i], got.States[i]
+		if o.Class != g.Class || o.Start != g.Start || o.Report != g.Report || o.ReportCode != g.ReportCode {
+			t.Fatalf("state %d differs: %+v vs %+v", i, o, g)
+		}
+		if len(o.Out) != len(g.Out) {
+			t.Fatalf("state %d edges differ", i)
+		}
+	}
+	// Behavioural equality on random input.
+	r := rand.New(rand.NewSource(3))
+	in := make([]byte, 500)
+	for i := range in {
+		in[i] = byte(r.Intn(256))
+	}
+	copy(in[100:], "abc")
+	copy(in[200:], "abbccd")
+	copy(in[300:], "xqqy")
+	m1, m2 := nfa.RunAll(orig, in), nfa.RunAll(got, in)
+	if len(m1) != len(m2) {
+		t.Fatalf("match counts differ: %d vs %d", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("match %d differs: %v vs %v", i, m1[i], m2[i])
+		}
+	}
+}
+
+func TestWriteCustomIDs(t *testing.T) {
+	n := nfa.New()
+	n.AddState(nfa.State{Class: bitvec.ClassOf('a'), Start: nfa.AllInput})
+	var buf bytes.Buffer
+	if err := Write(&buf, n, "x", []string{"mystate"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `id="mystate"`) {
+		t.Error("custom id not written")
+	}
+	if err := Write(&buf, n, "x", []string{"a", "b"}); err == nil {
+		t.Error("mismatched id count should fail")
+	}
+}
+
+func TestRandomRoundTripClasses(t *testing.T) {
+	// Classes with control characters and metacharacters survive the
+	// String() → ParseClass round trip embedded in Write/Read.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		var c bitvec.Class
+		for i, k := 0, 1+r.Intn(10); i < k; i++ {
+			c.Add(byte(r.Intn(256)))
+		}
+		n := nfa.New()
+		n.AddState(nfa.State{Class: c, Start: nfa.AllInput})
+		var buf bytes.Buffer
+		if err := Write(&buf, n, "t", nil); err != nil {
+			t.Fatal(err)
+		}
+		net, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("class %v: %v\n%s", c, err, buf.String())
+		}
+		if net.NFA.States[0].Class != c {
+			t.Fatalf("class round trip failed: %v → %v", c, net.NFA.States[0].Class)
+		}
+	}
+}

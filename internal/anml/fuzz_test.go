@@ -1,0 +1,33 @@
+package anml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the ANML reader with arbitrary bytes: no panics, and
+// anything accepted must re-serialize and re-read to the same shape.
+func FuzzRead(f *testing.F) {
+	f.Add(sampleDoc)
+	f.Add(`<anml><automata-network id="x"><state-transition-element id="a" symbol-set="q" start="all-input"/></automata-network></anml>`)
+	f.Add("<anml></anml>")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, doc string) {
+		net, err := Read(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, net.NFA, net.ID, nil); err != nil {
+			t.Fatalf("accepted network failed to serialize: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.NFA.NumStates() != net.NFA.NumStates() || again.NFA.NumEdges() != net.NFA.NumEdges() {
+			t.Fatal("round trip changed the automaton shape")
+		}
+	})
+}

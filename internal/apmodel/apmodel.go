@@ -1,0 +1,92 @@
+// Package apmodel holds the analytical comparison models the paper
+// evaluates against: Micron's DRAM-based Automata Processor (AP, §1/§5),
+// the "Ideal AP" energy model (§5.3), the x86-CPU prior-result ratio
+// (§5.1), and the HARE and UAP ASIC designs of Table 5 (§5.6). All numbers
+// are the ones published in the paper and its citations; the models turn
+// them into the throughput/runtime/energy/area comparisons of Figures 7,
+// 9, 10 and Table 5.
+package apmodel
+
+// AP parameters (§1, §5.1, §5.4, Fig. 10).
+const (
+	// APFrequencyGHz is the AP's symbol rate: one symbol per cycle at
+	// 133 MHz.
+	APFrequencyGHz = 0.133
+	// APThroughputGbps is the resulting line rate (8 bits/symbol).
+	APThroughputGbps = APFrequencyGHz * 8
+	// APStatesPerChip: "An AP chip can support up to 48K transitions in
+	// each cycle."
+	APStatesPerChip = 48 * 1024
+	// APStatesPerRank: "A rank of AP (8 dies) can accommodate 384K states."
+	APStatesPerRank = 384 * 1024
+	// APReachability: "Micron's AP provides an average reachability of
+	// 230.5 states from any state (Fan-out)" (§5.4).
+	APReachability = 230.5
+	// APMaxFanIn: "in contrast to only 16 supported by AP" (§5.4).
+	APMaxFanIn = 16
+	// APAreaMM2Per32K is the AP transition-matrix area for 32K STEs
+	// (Fig. 10: "AP incurs a high area overhead of 38mm²").
+	APAreaMM2Per32K = 38.0
+	// APConfigTimeMS: "AP's configuration time can be up to tens of
+	// milliseconds" (§2.10).
+	APConfigTimeMS = 45.0
+	// IdealAPDRAMBitPJ is the optimistic DRAM activation energy of the
+	// Ideal AP model: "an optimistic 1 pJ/bit for DRAM array access
+	// energy" (§5.3).
+	IdealAPDRAMBitPJ = 1.0
+	// APRowBits is the bits activated per partition row read.
+	APRowBits = 256
+)
+
+// APOverCPUSpeedup is the prior result the paper chains for its CPU
+// comparison: "Prior studies for same set of benchmarks have shown 256×
+// speedup over conventional x86 CPU [39]" (§5.1).
+const APOverCPUSpeedup = 256.0
+
+// CPUThroughputGbps is the implied conventional-CPU automata throughput.
+func CPUThroughputGbps() float64 { return APThroughputGbps / APOverCPUSpeedup }
+
+// IdealAPSymbolEnergyPJ returns the Ideal-AP energy for one symbol with the
+// given average number of active partitions (zero interconnect energy).
+func IdealAPSymbolEnergyPJ(activePartitions float64) float64 {
+	return activePartitions * APRowBits * IdealAPDRAMBitPJ
+}
+
+// ASIC is one comparison row of Table 5.
+type ASIC struct {
+	Name            string
+	ThroughputGbps  float64
+	PowerW          float64
+	EnergyNJPerByte float64
+	AreaMM2         float64
+}
+
+// HARE returns the HARE (W=32) row of Table 5.
+func HARE() ASIC {
+	return ASIC{Name: "HARE (W=32)", ThroughputGbps: 3.9, PowerW: 125, EnergyNJPerByte: 256, AreaMM2: 80}
+}
+
+// UAP returns the UAP row of Table 5.
+func UAP() ASIC {
+	return ASIC{Name: "UAP", ThroughputGbps: 5.3, PowerW: 0.507, EnergyNJPerByte: 0.802, AreaMM2: 5.67}
+}
+
+// RuntimeMS returns the time to process `bytes` of input at the ASIC's
+// line rate.
+func (a ASIC) RuntimeMS(bytes int64) float64 {
+	return float64(bytes) * 8 / (a.ThroughputGbps * 1e9) * 1e3
+}
+
+// APRuntimeMS returns the AP's time to process `bytes` (one byte per
+// 133 MHz cycle).
+func APRuntimeMS(bytes int64) float64 {
+	return float64(bytes) / (APFrequencyGHz * 1e9) * 1e3
+}
+
+// APChipsFor returns how many AP chips hold `states` STEs.
+func APChipsFor(states int) int {
+	if states <= 0 {
+		return 0
+	}
+	return (states + APStatesPerChip - 1) / APStatesPerChip
+}

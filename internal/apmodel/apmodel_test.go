@@ -1,0 +1,63 @@
+package apmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAPThroughput(t *testing.T) {
+	if math.Abs(APThroughputGbps-1.064) > 1e-9 {
+		t.Errorf("AP throughput = %f, want 1.064 Gb/s", APThroughputGbps)
+	}
+}
+
+func TestCPUThroughput(t *testing.T) {
+	// 1.064 / 256 ≈ 0.00416 Gb/s; CA_P at 16 Gb/s is then 3850× CPU —
+	// the paper's 3840× headline (15 × 256).
+	cpu := CPUThroughputGbps()
+	if speedup := 16.0 / cpu; math.Abs(speedup-3849.6) > 1 {
+		t.Errorf("CA_P/CPU speedup = %.0f, want ≈3840-3850", speedup)
+	}
+}
+
+func TestTable5Rows(t *testing.T) {
+	h, u := HARE(), UAP()
+	if h.ThroughputGbps != 3.9 || h.PowerW != 125 || h.AreaMM2 != 80 {
+		t.Errorf("HARE row wrong: %+v", h)
+	}
+	if u.ThroughputGbps != 5.3 || u.EnergyNJPerByte != 0.802 {
+		t.Errorf("UAP row wrong: %+v", u)
+	}
+	// Table 5 runtimes for a 10MB (10^7-byte) stream: HARE 20.48ms,
+	// UAP 15.83ms (paper rounds; allow 3%).
+	if rt := h.RuntimeMS(10_000_000); math.Abs(rt-20.48) > 0.65 {
+		t.Errorf("HARE runtime = %.2fms, want ≈20.5", rt)
+	}
+	if rt := u.RuntimeMS(10_000_000); math.Abs(rt-15.46) > 0.5 {
+		t.Errorf("UAP runtime = %.2fms, want ≈15.1-15.8", rt)
+	}
+}
+
+func TestAPRuntime(t *testing.T) {
+	// 10 MiB at 133 MHz: the paper's AP would take 78.8ms (15× the CA_P
+	// 5.24ms).
+	rt := APRuntimeMS(10 * 1 << 20)
+	if math.Abs(rt-78.8) > 0.3 {
+		t.Errorf("AP runtime = %.1fms, want ≈78.8", rt)
+	}
+}
+
+func TestAPChipsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 48 * 1024: 1, 48*1024 + 1: 2, 384 * 1024: 8}
+	for states, want := range cases {
+		if got := APChipsFor(states); got != want {
+			t.Errorf("APChipsFor(%d) = %d, want %d", states, got, want)
+		}
+	}
+}
+
+func TestIdealAPEnergy(t *testing.T) {
+	if got := IdealAPSymbolEnergyPJ(10); got != 2560 {
+		t.Errorf("IdealAP energy = %f pJ, want 2560", got)
+	}
+}

@@ -1,0 +1,92 @@
+package arch
+
+import "fmt"
+
+// PipelineStage identifies one stage of the three-stage symbol pipeline
+// (§2.5, Fig. 3).
+type PipelineStage int
+
+const (
+	// StageMatch is stage 1: the SRAM array read producing the match
+	// vector.
+	StageMatch PipelineStage = iota
+	// StageGSwitch is stage 2: propagation through the global switch
+	// (including the wire to it).
+	StageGSwitch
+	// StageLSwitch is stage 3: propagation through the local switch and
+	// the active-state-vector write-back.
+	StageLSwitch
+	numStages
+)
+
+func (s PipelineStage) String() string {
+	switch s {
+	case StageMatch:
+		return "state-match"
+	case StageGSwitch:
+		return "G-switch"
+	case StageLSwitch:
+		return "L-switch"
+	default:
+		return fmt.Sprintf("PipelineStage(%d)", int(s))
+	}
+}
+
+// StageDelayPS returns the latency of one stage.
+func (d *Design) StageDelayPS(s PipelineStage, o TimingOptions) float64 {
+	switch s {
+	case StageMatch:
+		return d.StateMatchPS(o)
+	case StageGSwitch:
+		return d.GSwitchStagePS(o)
+	default:
+		return d.LSwitchStagePS(o)
+	}
+}
+
+// PipelineSlot records which input symbol (by index; -1 = bubble) occupies
+// each stage during one clock cycle of the trace.
+type PipelineSlot struct {
+	Cycle  int64
+	Match  int64
+	GSw    int64
+	LSw    int64
+	Retire int64 // symbol whose processing completed this cycle (-1 none)
+}
+
+// PipelineTrace produces the stage-occupancy timeline for processing n
+// symbols: symbol k enters state-match at cycle k, traverses the G-switch
+// at k+1 and the L-switch at k+2, retiring at k+2 — so steady-state
+// throughput is one symbol per cycle and total latency is n+2 cycles
+// ("the pipeline fill-up and drain time are inconsequential", §2.5).
+func (d *Design) PipelineTrace(n int64) []PipelineSlot {
+	total := n + int64(numStages) - 1
+	out := make([]PipelineSlot, 0, total)
+	at := func(c, stage int64) int64 {
+		sym := c - stage
+		if sym < 0 || sym >= n {
+			return -1
+		}
+		return sym
+	}
+	for c := int64(0); c < total; c++ {
+		slot := PipelineSlot{
+			Cycle: c,
+			Match: at(c, 0),
+			GSw:   at(c, 1),
+			LSw:   at(c, 2),
+		}
+		slot.Retire = slot.LSw
+		out = append(out, slot)
+	}
+	return out
+}
+
+// PipelineLatencyPS returns the end-to-end latency to process n symbols:
+// (n + 2) clock periods.
+func (d *Design) PipelineLatencyPS(n int64, o TimingOptions) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n+int64(numStages)-1) * 1000.0 / d.OperatingFrequencyGHz(o)
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Minimize returns an equivalent DFA with the minimal number of states
+// (Hopcroft's partition-refinement algorithm, adapted to the scan-DFA:
+// two states are distinguishable when they disagree on any report set or
+// lead to distinguishable states). Compute-centric engines minimize their
+// DFAs to shrink the transition table's cache footprint — the footprint
+// problem §6 identifies as their core limitation.
+func (e *DFAEngine) Minimize() *DFAEngine {
+	n := e.NumStates()
+	nc := e.numClasses
+
+	// Initial partition: group states by their report signature across all
+	// classes (reports fire on the transition, so they are part of the
+	// state's observable behaviour).
+	sig := make([]string, n)
+	var sb strings.Builder
+	for s := 0; s < n; s++ {
+		sb.Reset()
+		for c := 0; c < nc; c++ {
+			for _, code := range e.reports[s*nc+c] {
+				fmt.Fprintf(&sb, "%d.%d,", c, code)
+			}
+			sb.WriteByte(';')
+		}
+		sig[s] = sb.String()
+	}
+	block := make([]int, n) // state → block id
+	blocks := map[string]int{}
+	numBlocks := 0
+	for s := 0; s < n; s++ {
+		b, ok := blocks[sig[s]]
+		if !ok {
+			b = numBlocks
+			blocks[sig[s]] = b
+			numBlocks++
+		}
+		block[s] = b
+	}
+
+	// Refine until stable: split blocks whose members disagree on the
+	// block of any successor. (Moore's refinement — O(n²·c) worst case but
+	// simple and robust; scan DFAs here are small.)
+	for {
+		changed := false
+		newBlocks := map[string]int{}
+		newBlock := make([]int, n)
+		newCount := 0
+		for s := 0; s < n; s++ {
+			sb.Reset()
+			fmt.Fprintf(&sb, "%d|", block[s])
+			for c := 0; c < nc; c++ {
+				fmt.Fprintf(&sb, "%d,", block[e.trans[s*nc+c]])
+			}
+			k := sb.String()
+			b, ok := newBlocks[k]
+			if !ok {
+				b = newCount
+				newBlocks[k] = b
+				newCount++
+			}
+			newBlock[s] = b
+		}
+		if newCount == numBlocks {
+			break
+		}
+		block, numBlocks = newBlock, newCount
+		changed = true
+		_ = changed
+	}
+
+	// Renumber blocks in first-occurrence order for determinism.
+	order := make([]int, numBlocks)
+	for i := range order {
+		order[i] = -1
+	}
+	next := 0
+	for s := 0; s < n; s++ {
+		if order[block[s]] == -1 {
+			order[block[s]] = next
+			next++
+		}
+	}
+	rep := make([]int, numBlocks) // new block id → representative old state
+	for i := range rep {
+		rep[i] = -1
+	}
+	for s := 0; s < n; s++ {
+		nb := order[block[s]]
+		if rep[nb] == -1 {
+			rep[nb] = s
+		}
+	}
+
+	out := &DFAEngine{
+		numClasses: nc,
+		classOf:    e.classOf,
+		symbols:    append([]byte(nil), e.symbols...),
+		start:      int32(order[block[e.start]]),
+		trans:      make([]int32, numBlocks*nc),
+		reports:    make([][]int32, numBlocks*nc),
+	}
+	for nb := 0; nb < numBlocks; nb++ {
+		s := rep[nb]
+		for c := 0; c < nc; c++ {
+			out.trans[nb*nc+c] = int32(order[block[e.trans[s*nc+c]]])
+			if r := e.reports[s*nc+c]; r != nil {
+				out.reports[nb*nc+c] = append([]int32(nil), r...)
+			}
+		}
+	}
+	out.Reset()
+	return out
+}
+
+// sortedCodes is a test helper exposing a state's report codes for a class.
+func (e *DFAEngine) sortedCodes(state, class int) []int32 {
+	r := append([]int32(nil), e.reports[state*e.numClasses+class]...)
+	sort.Slice(r, func(a, b int) bool { return r[a] < r[b] })
+	return r
+}

@@ -1,0 +1,269 @@
+// Package bitstream serializes a compiled placement into the
+// configuration image the paper's compiler emits (§2.10: "Our compiler
+// creates binary pages which consists of STEs stored in the order in which
+// they need to be mapped to cache arrays ... These binary pages with STEs
+// are loaded in memory, just like code pages", plus the switch enable bits
+// programmed through the switches' write mode §2.7).
+//
+// The image has three sections:
+//
+//   - STE pages: per partition, 256 slots × 32 bytes — each slot's 256-bit
+//     one-hot symbol column, in physical slot order (exactly the bytes the
+//     CPU stores stream into the cache arrays);
+//   - control masks: per partition, the start-of-data / all-input / report
+//     masks and report codes the C-BOX needs (§2.8);
+//   - switch programming: the local-switch cross-points and the global
+//     cross-edge list with Via assignments.
+//
+// Load reconstructs a Placement that verifies and executes identically.
+package bitstream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/mapper"
+	"cacheautomaton/internal/nfa"
+)
+
+var magic = [8]byte{'C', 'A', 'B', 'S', '0', '1', 0, 0}
+
+// Write serializes the placement configuration image.
+func Write(w io.Writer, pl *mapper.Placement) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	put := func(v interface{}) error { return binary.Write(bw, le, v) }
+
+	if err := put(magic); err != nil {
+		return err
+	}
+	hdr := []int64{
+		int64(pl.Design.Kind),
+		int64(len(pl.Partitions)),
+		int64(pl.NFA.NumStates()),
+		int64(pl.WaysPerSlice),
+		int64(pl.PartitionsPerWay),
+		int64(len(pl.Cross)),
+	}
+	for _, h := range hdr {
+		if err := put(h); err != nil {
+			return err
+		}
+	}
+	// Section 1+2: per-partition STE pages and control masks.
+	for pi := range pl.Partitions {
+		p := &pl.Partitions[pi]
+		if err := put(int64(p.Way)); err != nil {
+			return err
+		}
+		for slot := 0; slot < arch.PartitionSTEs; slot++ {
+			var page [4]uint64 // 32-byte STE column
+			var flags uint8
+			var code int32
+			if s := p.Slots[slot]; s != nfa.None {
+				st := &pl.NFA.States[s]
+				page = [4]uint64(st.Class)
+				flags = 1 | uint8(st.Start)<<1 // bit0: occupied; bits1-2: start
+				if st.Report {
+					flags |= 1 << 3
+					code = st.ReportCode
+				}
+			}
+			if err := put(page); err != nil {
+				return err
+			}
+			if err := put(flags); err != nil {
+				return err
+			}
+			if err := put(code); err != nil {
+				return err
+			}
+		}
+		// Local switch rows: for each occupied slot, the 256-bit enable row.
+		for slot := 0; slot < arch.PartitionSTEs; slot++ {
+			var row [4]uint64
+			if s := p.Slots[slot]; s != nfa.None {
+				for _, v := range pl.NFA.States[s].Out {
+					if pl.PartitionOf[v] == int32(pi) {
+						d := pl.SlotOf[v]
+						row[d>>6] |= 1 << (uint(d) & 63)
+					}
+				}
+			}
+			if err := put(row); err != nil {
+				return err
+			}
+		}
+	}
+	// Section 3: global cross edges.
+	for _, ce := range pl.Cross {
+		rec := []int32{int32(ce.SrcPartition), int32(ce.SrcSlot), int32(ce.DstPartition), int32(ce.DstSlot), int32(ce.Via)}
+		for _, v := range rec {
+			if err := put(v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs a placement from a configuration image.
+func Load(r io.Reader) (*mapper.Placement, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	get := func(v interface{}) error { return binary.Read(br, le, v) }
+
+	var m [8]byte
+	if err := get(&m); err != nil {
+		return nil, fmt.Errorf("bitstream: header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("bitstream: bad magic %q", m)
+	}
+	var hdr [6]int64
+	for i := range hdr {
+		if err := get(&hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	kind, nParts, nStates, waysPerSlice, ppw, nCross := hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5]
+	if nParts < 0 || nParts > 1<<20 || nStates < 0 || nStates > 1<<26 || nCross < 0 || nCross > 1<<26 {
+		return nil, fmt.Errorf("bitstream: implausible header %v", hdr)
+	}
+	if kind != int64(arch.PerfOpt) && kind != int64(arch.SpaceOpt) {
+		return nil, fmt.Errorf("bitstream: unknown design kind %d", kind)
+	}
+
+	pl := &mapper.Placement{
+		NFA:              nfa.New(),
+		Design:           arch.NewDesign(arch.DesignKind(kind)),
+		WaysPerSlice:     int(waysPerSlice),
+		PartitionsPerWay: int(ppw),
+	}
+	pl.NFA.States = make([]nfa.State, nStates)
+	pl.PartitionOf = make([]int32, nStates)
+	pl.SlotOf = make([]int32, nStates)
+
+	// States are renumbered in (partition, slot) order during load; the
+	// original IDs are not part of the image (the hardware doesn't have
+	// them either).
+	stateAt := make(map[[2]int32]nfa.StateID, nStates)
+	localRows := make([][][4]uint64, nParts)
+
+	nextState := nfa.StateID(0)
+	for pi := int64(0); pi < nParts; pi++ {
+		var way int64
+		if err := get(&way); err != nil {
+			return nil, err
+		}
+		slots := make([]nfa.StateID, arch.PartitionSTEs)
+		used := 0
+		for slot := 0; slot < arch.PartitionSTEs; slot++ {
+			var page [4]uint64
+			var flags uint8
+			var code int32
+			if err := get(&page); err != nil {
+				return nil, err
+			}
+			if err := get(&flags); err != nil {
+				return nil, err
+			}
+			if err := get(&code); err != nil {
+				return nil, err
+			}
+			slots[slot] = nfa.None
+			if flags&1 == 0 {
+				continue
+			}
+			if int(nextState) >= int(nStates) {
+				return nil, fmt.Errorf("bitstream: more occupied slots than states")
+			}
+			st := nfa.State{
+				Class: [4]uint64(page),
+				Start: nfa.StartType(flags >> 1 & 3),
+			}
+			if flags&(1<<3) != 0 {
+				st.Report = true
+				st.ReportCode = code
+			}
+			pl.NFA.States[nextState] = st
+			pl.PartitionOf[nextState] = int32(pi)
+			pl.SlotOf[nextState] = int32(slot)
+			slots[slot] = nextState
+			stateAt[[2]int32{int32(pi), int32(slot)}] = nextState
+			used++
+			nextState++
+		}
+		pl.Partitions = append(pl.Partitions, mapper.Partition{Slots: slots, Way: int(way), Used: used})
+		rows := make([][4]uint64, arch.PartitionSTEs)
+		for slot := 0; slot < arch.PartitionSTEs; slot++ {
+			if err := get(&rows[slot]); err != nil {
+				return nil, err
+			}
+		}
+		localRows[pi] = rows
+	}
+	if int64(nextState) != nStates {
+		return nil, fmt.Errorf("bitstream: image has %d states, header says %d", nextState, nStates)
+	}
+	// Rebuild local edges from switch rows.
+	for pi := int64(0); pi < nParts; pi++ {
+		for slot := 0; slot < arch.PartitionSTEs; slot++ {
+			src, ok := stateAt[[2]int32{int32(pi), int32(slot)}]
+			row := localRows[pi][slot]
+			if !ok {
+				if row != [4]uint64{} {
+					return nil, fmt.Errorf("bitstream: switch row programmed for empty slot (%d,%d)", pi, slot)
+				}
+				continue
+			}
+			for d := 0; d < arch.PartitionSTEs; d++ {
+				if row[d>>6]&(1<<(uint(d)&63)) != 0 {
+					dst, ok := stateAt[[2]int32{int32(pi), int32(d)}]
+					if !ok {
+						return nil, fmt.Errorf("bitstream: local edge to empty slot (%d,%d)", pi, d)
+					}
+					pl.NFA.AddEdge(src, dst)
+				}
+			}
+		}
+	}
+	// Cross edges.
+	for i := int64(0); i < nCross; i++ {
+		var rec [5]int32
+		for j := range rec {
+			if err := get(&rec[j]); err != nil {
+				return nil, err
+			}
+		}
+		src, ok1 := stateAt[[2]int32{rec[0], rec[1]}]
+		dst, ok2 := stateAt[[2]int32{rec[2], rec[3]}]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("bitstream: cross edge references empty slot")
+		}
+		pl.NFA.AddEdge(src, dst)
+		pl.Cross = append(pl.Cross, mapper.CrossEdge{
+			Src: src, Dst: dst,
+			SrcPartition: int(rec[0]), SrcSlot: int(rec[1]),
+			DstPartition: int(rec[2]), DstSlot: int(rec[3]),
+			Via: mapper.Via(rec[4]),
+		})
+	}
+	if err := pl.Verify(); err != nil {
+		return nil, fmt.Errorf("bitstream: loaded image fails verification: %w", err)
+	}
+	return pl, nil
+}
+
+// ImageSizeBytes predicts the image size for a placement: the §2.10
+// configuration footprint (STE pages dominate: 8 KB per partition, plus
+// 8 KB of local-switch rows and per-slot metadata).
+func ImageSizeBytes(pl *mapper.Placement) int64 {
+	perPartition := int64(8) + // way
+		int64(arch.PartitionSTEs)*(32+1+4) + // STE pages + flags + code
+		int64(arch.PartitionSTEs)*32 // local switch rows
+	return 8 + 6*8 + int64(len(pl.Partitions))*perPartition + int64(len(pl.Cross))*20
+}

@@ -1,0 +1,171 @@
+package bitvec
+
+import (
+	"math/bits"
+)
+
+// Vector is a variable-length bit vector backed by 64-bit words. It backs
+// the match vector and active-state vector of each partition (§2.2): one
+// bit per STE slot. Vectors taking part in binary operations must have the
+// same length.
+type Vector struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// NewVector returns an all-zero vector of n bits.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative vector length")
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) { v.words[i>>6] |= 1 << (i & 63) }
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) { v.words[i>>6] &^= 1 << (i & 63) }
+
+// Get reports whether bit i is 1.
+func (v *Vector) Get(i int) bool { return v.words[i>>6]&(1<<(i&63)) != 0 }
+
+// Reset zeroes every bit.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Any reports whether any bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And stores a ∩ b into v. All three must have equal length.
+func (v *Vector) And(a, b *Vector) {
+	v.check(a)
+	v.check(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Or stores a ∪ b into v. All three must have equal length.
+func (v *Vector) Or(a, b *Vector) {
+	v.check(a)
+	v.check(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// OrWith ORs o into v in place.
+func (v *Vector) OrWith(o *Vector) {
+	v.check(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// AndWith ANDs o into v in place.
+func (v *Vector) AndWith(o *Vector) {
+	v.check(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Intersects reports whether v ∩ o is non-empty.
+func (v *Vector) Intersects(o *Vector) bool {
+	v.check(o)
+	for i, w := range v.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CopyFrom overwrites v with o's bits.
+func (v *Vector) CopyFrom(o *Vector) {
+	v.check(o)
+	copy(v.words, o.words)
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{words: make([]uint64, len(v.words)), n: v.n}
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether v and o have identical length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn with the index of every set bit, in ascending order.
+func (v *Vector) ForEach(fn func(i int)) {
+	for wi, w := range v.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (v *Vector) NextSet(i int) int {
+	if i >= v.n {
+		return -1
+	}
+	wi := i >> 6
+	w := v.words[wi] >> (i & 63)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(v.words); wi++ {
+		if v.words[wi] != 0 {
+			return wi<<6 + bits.TrailingZeros64(v.words[wi])
+		}
+	}
+	return -1
+}
+
+// Words exposes the backing words (little-endian bit order). The final word
+// may contain junk above bit Len()%64 only if callers wrote it directly;
+// Vector's own methods never set bits beyond Len().
+func (v *Vector) Words() []uint64 { return v.words }
+
+func (v *Vector) check(o *Vector) {
+	if v.n != o.n {
+		panic("bitvec: vector length mismatch")
+	}
+}

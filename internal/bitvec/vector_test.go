@@ -1,0 +1,201 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(300)
+	if v.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", v.Len())
+	}
+	if v.Any() {
+		t.Fatal("new vector should be empty")
+	}
+	v.Set(0)
+	v.Set(63)
+	v.Set(64)
+	v.Set(299)
+	if got := v.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	for _, i := range []int{0, 63, 64, 299} {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Get(1) || v.Get(128) {
+		t.Error("unexpected set bits")
+	}
+	v.Clear(63)
+	if v.Get(63) {
+		t.Error("bit 63 should be cleared")
+	}
+	v.Reset()
+	if v.Any() || v.Count() != 0 {
+		t.Error("Reset should clear all bits")
+	}
+}
+
+func TestVectorZeroLength(t *testing.T) {
+	v := NewVector(0)
+	if v.Any() || v.Count() != 0 || v.Len() != 0 {
+		t.Error("zero-length vector misbehaves")
+	}
+	if v.NextSet(0) != -1 {
+		t.Error("NextSet on empty vector should be -1")
+	}
+}
+
+func TestVectorNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVector(-1) should panic")
+		}
+	}()
+	NewVector(-1)
+}
+
+func TestVectorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths should panic")
+		}
+	}()
+	a, b := NewVector(10), NewVector(11)
+	a.AndWith(b)
+}
+
+func TestVectorBinaryOps(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(512)
+		a, b := randomVector(r, n), randomVector(r, n)
+		and, or := NewVector(n), NewVector(n)
+		and.And(a, b)
+		or.Or(a, b)
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (a.Get(i) && b.Get(i)) {
+				t.Fatalf("And bit %d wrong", i)
+			}
+			if or.Get(i) != (a.Get(i) || b.Get(i)) {
+				t.Fatalf("Or bit %d wrong", i)
+			}
+		}
+		// In-place variants match.
+		a2 := a.Clone()
+		a2.AndWith(b)
+		if !a2.Equal(and) {
+			t.Fatal("AndWith disagrees with And")
+		}
+		a3 := a.Clone()
+		a3.OrWith(b)
+		if !a3.Equal(or) {
+			t.Fatal("OrWith disagrees with Or")
+		}
+		if a.Intersects(b) != and.Any() {
+			t.Fatal("Intersects disagrees with And().Any()")
+		}
+	}
+}
+
+func TestVectorForEachAndNextSet(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		v := randomVector(r, n)
+		var viaForEach []int
+		v.ForEach(func(i int) { viaForEach = append(viaForEach, i) })
+		var viaNext []int
+		for i := v.NextSet(0); i != -1; i = v.NextSet(i + 1) {
+			viaNext = append(viaNext, i)
+		}
+		if len(viaForEach) != v.Count() || len(viaNext) != v.Count() {
+			t.Fatalf("iteration count mismatch: %d %d vs %d",
+				len(viaForEach), len(viaNext), v.Count())
+		}
+		for i := range viaForEach {
+			if viaForEach[i] != viaNext[i] {
+				t.Fatalf("iteration order mismatch at %d", i)
+			}
+			if !v.Get(viaForEach[i]) {
+				t.Fatalf("iterated bit %d not actually set", viaForEach[i])
+			}
+		}
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	v := NewVector(100)
+	v.Set(5)
+	c := v.Clone()
+	c.Set(6)
+	if v.Get(6) {
+		t.Fatal("Clone must not alias backing storage")
+	}
+	v.Set(7)
+	if c.Get(7) {
+		t.Fatal("Clone must not alias backing storage")
+	}
+}
+
+func TestVectorCopyFrom(t *testing.T) {
+	a := NewVector(70)
+	a.Set(1)
+	b := NewVector(70)
+	b.Set(69)
+	a.CopyFrom(b)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom should make vectors equal")
+	}
+}
+
+func TestQuickVectorDeMorgan(t *testing.T) {
+	// (a|b) has count >= max(count(a), count(b)); (a&b) <= min.
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVector(r, n), randomVector(r, n)
+		or, and := NewVector(n), NewVector(n)
+		or.Or(a, b)
+		and.And(a, b)
+		return or.Count()+and.Count() == a.Count()+b.Count() &&
+			or.Count() >= a.Count() && and.Count() <= b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomVector(r *rand.Rand, n int) *Vector {
+	v := NewVector(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func BenchmarkVectorAnd256(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randomVector(r, 256), randomVector(r, 256)
+	dst := NewVector(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst.And(x, y)
+	}
+}
+
+func BenchmarkVectorForEach256(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomVector(r, 256)
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEach(func(j int) { sink += j })
+	}
+	_ = sink
+}

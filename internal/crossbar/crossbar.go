@@ -1,0 +1,116 @@
+// Package crossbar is a gate-level model of the paper's 8-transistor
+// cross-point switch (§2.7, Fig. 5): a 6T bit-cell stores the enable bit
+// connecting an input bit-line (IBL) to an output bit-line (OBL) through a
+// 2T block. The switch has two modes:
+//
+//   - write mode: the enable bits are programmed row-by-row through the
+//     write word-lines, exactly like an SRAM array (§2.10 uses this for
+//     configuration);
+//   - crossbar mode: all OBLs precharge; any enabled cross-point whose IBL
+//     carries '0' discharges its OBL. Signals are active-low, so an output
+//     is the logical OR of all its enabled inputs ("the final result on an
+//     output wire is logical OR of all inputs"), which is how many-to-one
+//     state transitions resolve without arbitration.
+//
+// The vector-based machine routes transitions with adjacency masks; this
+// model is the electrical ground truth it is validated against.
+package crossbar
+
+import (
+	"fmt"
+
+	"cacheautomaton/internal/bitvec"
+)
+
+// Switch is one R×C cross-point matrix.
+type Switch struct {
+	rows, cols int
+	// enable[r] has bit c set when IBL r connects to OBL c.
+	enable []*bitvec.Vector
+}
+
+// New returns an unprogrammed switch with the given port counts.
+func New(rows, cols int) (*Switch, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("crossbar: invalid size %dx%d", rows, cols)
+	}
+	s := &Switch{rows: rows, cols: cols, enable: make([]*bitvec.Vector, rows)}
+	for r := range s.enable {
+		s.enable[r] = bitvec.NewVector(cols)
+	}
+	return s, nil
+}
+
+// Rows and Cols return the port counts.
+func (s *Switch) Rows() int { return s.rows }
+func (s *Switch) Cols() int { return s.cols }
+
+// WriteRow programs one write word-line: the enable bits of input row r
+// are overwritten by the given row pattern (write mode, one row per
+// cycle).
+func (s *Switch) WriteRow(r int, pattern *bitvec.Vector) error {
+	if r < 0 || r >= s.rows {
+		return fmt.Errorf("crossbar: row %d out of range [0,%d)", r, s.rows)
+	}
+	if pattern.Len() != s.cols {
+		return fmt.Errorf("crossbar: pattern has %d bits, switch has %d columns", pattern.Len(), s.cols)
+	}
+	s.enable[r].CopyFrom(pattern)
+	return nil
+}
+
+// SetCrossPoint programs a single enable bit.
+func (s *Switch) SetCrossPoint(r, c int, enabled bool) error {
+	if r < 0 || r >= s.rows || c < 0 || c >= s.cols {
+		return fmt.Errorf("crossbar: cross-point (%d,%d) out of range", r, c)
+	}
+	if enabled {
+		s.enable[r].Set(c)
+	} else {
+		s.enable[r].Clear(c)
+	}
+	return nil
+}
+
+// CrossPoint reads back an enable bit.
+func (s *Switch) CrossPoint(r, c int) bool { return s.enable[r].Get(c) }
+
+// ConfiguredPoints counts programmed cross-points.
+func (s *Switch) ConfiguredPoints() int {
+	n := 0
+	for _, row := range s.enable {
+		n += row.Count()
+	}
+	return n
+}
+
+// Propagate evaluates crossbar mode electrically: inputs and outputs are
+// active-low on the wires, so the model precharges every OBL to '1'
+// (inactive), drives each IBL with the complement of its logical input,
+// and discharges an OBL when any enabled cross-point sees a low... the
+// wired-AND of active-low signals. The returned vector is in logical
+// (active-high) terms: out[c] = OR over r of (in[r] AND enable[r][c]).
+func (s *Switch) Propagate(in *bitvec.Vector) (*bitvec.Vector, error) {
+	if in.Len() != s.rows {
+		return nil, fmt.Errorf("crossbar: input has %d bits, switch has %d rows", in.Len(), s.rows)
+	}
+	// Electrical form: OBL[c] starts precharged (1 = no activation).
+	obl := make([]bool, s.cols)
+	for c := range obl {
+		obl[c] = true
+	}
+	in.ForEach(func(r int) {
+		// IBL carries active-low '0' for a logically-active input: every
+		// enabled 2T block on this row discharges its OBL.
+		s.enable[r].ForEach(func(c int) {
+			obl[c] = false
+		})
+	})
+	out := bitvec.NewVector(s.cols)
+	for c, high := range obl {
+		if !high { // discharged = logically active
+			out.Set(c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package crossbar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cacheautomaton/internal/bitvec"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 8}, {8, 0}, {-1, 8}} {
+		if _, err := New(bad[0], bad[1]); err == nil {
+			t.Errorf("New(%d,%d) should fail", bad[0], bad[1])
+		}
+	}
+	s, err := New(280, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 280 || s.Cols() != 256 {
+		t.Error("port counts wrong")
+	}
+}
+
+func TestCrossPointProgramming(t *testing.T) {
+	s, _ := New(8, 8)
+	if err := s.SetCrossPoint(3, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CrossPoint(3, 5) || s.CrossPoint(5, 3) {
+		t.Error("cross point readback wrong")
+	}
+	if s.ConfiguredPoints() != 1 {
+		t.Errorf("ConfiguredPoints = %d", s.ConfiguredPoints())
+	}
+	s.SetCrossPoint(3, 5, false)
+	if s.CrossPoint(3, 5) || s.ConfiguredPoints() != 0 {
+		t.Error("disable failed")
+	}
+	if err := s.SetCrossPoint(8, 0, true); err == nil {
+		t.Error("out-of-range cross point should fail")
+	}
+}
+
+func TestWriteRowMode(t *testing.T) {
+	// §2.7: "the 6T enable bits can be programmed by writing to all
+	// bit-cells sharing one write word-line (WWL) in a cycle".
+	s, _ := New(4, 16)
+	pattern := bitvec.NewVector(16)
+	pattern.Set(0)
+	pattern.Set(7)
+	pattern.Set(15)
+	if err := s.WriteRow(2, pattern); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 16; c++ {
+		want := c == 0 || c == 7 || c == 15
+		if s.CrossPoint(2, c) != want {
+			t.Errorf("cross point (2,%d) = %v", c, s.CrossPoint(2, c))
+		}
+	}
+	// Rewriting the row replaces it.
+	if err := s.WriteRow(2, bitvec.NewVector(16)); err != nil {
+		t.Fatal(err)
+	}
+	if s.ConfiguredPoints() != 0 {
+		t.Error("row rewrite should clear old bits")
+	}
+	if err := s.WriteRow(4, pattern); err == nil {
+		t.Error("row out of range should fail")
+	}
+	if err := s.WriteRow(0, bitvec.NewVector(8)); err == nil {
+		t.Error("wrong pattern width should fail")
+	}
+}
+
+// TestManyToOneOR verifies the paper's key switch property: "unlike a
+// conventional crossbar, an output can be connected to multiple inputs at
+// the same time. The output is a logical OR of all active inputs."
+func TestManyToOneOR(t *testing.T) {
+	s, _ := New(6, 3)
+	// Inputs 0,1,2 all drive output 1.
+	for r := 0; r < 3; r++ {
+		s.SetCrossPoint(r, 1, true)
+	}
+	in := bitvec.NewVector(6)
+	in.Set(2)
+	out, err := s.Propagate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Get(1) || out.Get(0) || out.Get(2) {
+		t.Errorf("output = %v, want only bit 1", out)
+	}
+	// All three active still yields a single OR'd activation.
+	in.Set(0)
+	in.Set(1)
+	out, _ = s.Propagate(in)
+	if !out.Get(1) || out.Count() != 1 {
+		t.Errorf("OR of 3 inputs: %v", out)
+	}
+	// No active inputs: all outputs stay precharged (inactive).
+	out, _ = s.Propagate(bitvec.NewVector(6))
+	if out.Any() {
+		t.Error("idle switch should not activate outputs")
+	}
+}
+
+func TestPropagateMatchesLogicalDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+r.Intn(64), 1+r.Intn(64)
+		s, _ := New(rows, cols)
+		for k := 0; k < rows*cols/4; k++ {
+			s.SetCrossPoint(r.Intn(rows), r.Intn(cols), true)
+		}
+		in := bitvec.NewVector(rows)
+		for i := 0; i < rows; i++ {
+			if r.Intn(3) == 0 {
+				in.Set(i)
+			}
+		}
+		got, err := s.Propagate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < cols; c++ {
+			want := false
+			for rr := 0; rr < rows; rr++ {
+				if in.Get(rr) && s.CrossPoint(rr, c) {
+					want = true
+					break
+				}
+			}
+			if got.Get(c) != want {
+				t.Fatalf("trial %d: out[%d] = %v, want %v", trial, c, got.Get(c), want)
+			}
+		}
+	}
+	// Wrong input width errors.
+	s, _ := New(4, 4)
+	if _, err := s.Propagate(bitvec.NewVector(5)); err == nil {
+		t.Error("input width mismatch should fail")
+	}
+}
+
+// TestQuickPropagateMonotone: activating more inputs never deactivates an
+// output (wired-OR is monotone).
+func TestQuickPropagateMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, _ := New(32, 32)
+		for k := 0; k < 64; k++ {
+			s.SetCrossPoint(r.Intn(32), r.Intn(32), true)
+		}
+		a := bitvec.NewVector(32)
+		for i := 0; i < 32; i++ {
+			if r.Intn(4) == 0 {
+				a.Set(i)
+			}
+		}
+		b := a.Clone()
+		b.Set(r.Intn(32))
+		outA, _ := s.Propagate(a)
+		outB, _ := s.Propagate(b)
+		// outA ⊆ outB.
+		inter := bitvec.NewVector(32)
+		inter.And(outA, outB)
+		return inter.Equal(outA)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPropagate280x256(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s, _ := New(280, 256)
+	for k := 0; k < 2000; k++ {
+		s.SetCrossPoint(r.Intn(280), r.Intn(256), true)
+	}
+	in := bitvec.NewVector(280)
+	for i := 0; i < 280; i += 7 {
+		in.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Propagate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package gatesim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/machine"
+	"cacheautomaton/internal/mapper"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/regexc"
+	"cacheautomaton/internal/spaceopt"
+)
+
+type key struct {
+	off   int64
+	code  int32
+	state nfa.StateID
+}
+
+func gateKeys(ms []Match) []key {
+	out := make([]key, len(ms))
+	for i, m := range ms {
+		out[i] = key{m.Offset, m.Code, m.State}
+	}
+	sortKeys(out)
+	return out
+}
+
+func vecKeys(ms []machine.Match) []key {
+	out := make([]key, len(ms))
+	for i, m := range ms {
+		out[i] = key{m.Offset, m.Code, m.State}
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(ks []key) {
+	sort.Slice(ks, func(a, b int) bool {
+		if ks[a].off != ks[b].off {
+			return ks[a].off < ks[b].off
+		}
+		if ks[a].code != ks[b].code {
+			return ks[a].code < ks[b].code
+		}
+		return ks[a].state < ks[b].state
+	})
+}
+
+// crossValidate runs the same placement through the gate-level and
+// vector simulators and demands identical matches.
+func crossValidate(t *testing.T, pl *mapper.Placement, input []byte, label string) {
+	t.Helper()
+	gate, err := New(pl)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	fast, err := machine.New(pl, machine.Options{CollectMatches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gateKeys(gate.Run(input))
+	f := vecKeys(fast.Run(input).Matches)
+	if len(g) != len(f) {
+		t.Fatalf("%s: gate %d matches, vector %d", label, len(g), len(f))
+	}
+	for i := range g {
+		if g[i] != f[i] {
+			t.Fatalf("%s: match %d differs: %+v vs %+v", label, i, g[i], f[i])
+		}
+	}
+}
+
+func TestGateLevelEqualsVectorSimulatorSinglePartition(t *testing.T) {
+	n, err := regexc.CompileSet([]string{"cat", "do[gt]", "b.{2}d"}, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := mapper.Map(n, mapper.Config{Design: arch.NewDesign(arch.PerfOpt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossValidate(t, pl, []byte("the cat bit a dog and a dot; bxyd"), "single partition")
+}
+
+func TestGateLevelEqualsVectorSimulatorMultiPartitionG1(t *testing.T) {
+	// 700-state chain: crosses partitions within one way via G-Switch-1.
+	a := chain(700)
+	pl, err := mapper.Map(a, mapper.Config{Design: arch.NewDesign(arch.PerfOpt), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, 1500)
+	for i := range in {
+		in[i] = 'a'
+	}
+	crossValidate(t, pl, in, "G1 chain")
+}
+
+func TestGateLevelEqualsVectorSimulatorG4(t *testing.T) {
+	// 6000-state chain in CA_S: spans ways, uses G-Switch-4.
+	a := chain(6000)
+	pl, err := mapper.Map(a, mapper.Config{Design: arch.NewDesign(arch.SpaceOpt), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.ComputeStats()
+	if st.G4Edges == 0 {
+		t.Skip("mapping used no G4 edges; nothing to validate")
+	}
+	in := make([]byte, 8000)
+	for i := range in {
+		in[i] = 'a'
+	}
+	crossValidate(t, pl, in, "G4 chain")
+}
+
+func TestGateLevelRandomWorkloads(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		var pats []string
+		for p := 0; p < 20+r.Intn(30); p++ {
+			pats = append(pats, fmt.Sprintf("w%02d[ab]{2}%c+", p, 'c'+r.Intn(3)))
+		}
+		n, err := regexc.CompileSet(pats, regexc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := arch.PerfOpt
+		if trial%2 == 1 {
+			kind = arch.SpaceOpt
+			n = spaceopt.Optimize(n, spaceopt.Options{}).NFA
+		}
+		pl, err := mapper.Map(n, mapper.Config{Design: arch.NewDesign(kind), Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]byte, 400)
+		for i := range in {
+			in[i] = byte("wabcde0123"[r.Intn(10)])
+		}
+		crossValidate(t, pl, in, fmt.Sprintf("trial %d (%v)", trial, kind))
+	}
+}
+
+func TestGateLevelRejectsChained(t *testing.T) {
+	a := chain(17000)
+	pl, err := mapper.Map(a, mapper.Config{Design: arch.NewDesign(arch.SpaceOpt), Seed: 1, AllowChainedG4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.ComputeStats().ChainedEdges == 0 {
+		t.Skip("no chained edges")
+	}
+	if _, err := New(pl); err == nil {
+		t.Error("gate-level model should reject chained-G4 placements")
+	}
+}
+
+func chain(n int) *nfa.NFA {
+	a, err := regexc.Compile(fmt.Sprintf("a{%d}", n), 0, regexc.Options{MaxRepeat: n})
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

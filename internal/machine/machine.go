@@ -1,0 +1,406 @@
+// Package machine is the cycle-level functional simulator of a mapped
+// Cache Automaton (the role VASim plays in the paper's methodology, §4:
+// "The simulator takes as input the NFA partitions produced by METIS and
+// simulates each input cycle by cycle. After processing the input stream,
+// we use the per-cycle statistics on number of active states in each array
+// to derive energy statistics").
+//
+// Each partition is simulated exactly as the hardware operates (§2.2):
+// the input symbol addresses a row of the partition's SRAM arrays, giving a
+// 256-bit match vector; the AND with the active-state vector selects the
+// matching states; their local-switch rows produce next-cycle activations
+// within the partition, and their programmed G-switch cross-points activate
+// states in other partitions. Reporting states that match push an entry
+// into the 64-deep output buffer (§2.8), which raises an interrupt when
+// full. Per-cycle counts of active partitions and G-switch crossings feed
+// the arch energy model.
+package machine
+
+import (
+	"fmt"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/mapper"
+	"cacheautomaton/internal/nfa"
+)
+
+// OutputBufferEntries is the size of the output event buffer in the CBOX
+// (§2.8: "An output buffer has 64 entries").
+const OutputBufferEntries = 64
+
+// InputFIFOEntries is the input symbol FIFO depth (§2.8: "a small 128
+// entry FIFO in the C-BOX").
+const InputFIFOEntries = 128
+
+// cacheLineBytes is the refill granularity of the input FIFO.
+const cacheLineBytes = 64
+
+// Match is one report event.
+type Match struct {
+	// Offset is the input offset of the symbol that triggered the report.
+	Offset int64
+	// Code is the report code of the matching state.
+	Code int32
+	// State is the matching state's ID.
+	State nfa.StateID
+	// Partition is where the state is mapped.
+	Partition int
+}
+
+// Options configure a simulation.
+type Options struct {
+	// CollectMatches stores every match in Result.Matches. Disable for
+	// long streams where only counts and activity statistics matter.
+	CollectMatches bool
+	// MatchLimit caps collected matches (0 = unlimited).
+	MatchLimit int
+}
+
+// ActivityStats accumulates the per-cycle statistics the energy model
+// consumes.
+type ActivityStats struct {
+	// Cycles is the number of symbols processed.
+	Cycles int64
+	// SumActiveStates totals the enabled-state count over cycles,
+	// including the always-enabled all-input start states.
+	SumActiveStates int64
+	// SumDynamicStates totals enabled states EXCLUDING the always-enabled
+	// start states — the Table-1 "Avg. Active States" metric, which counts
+	// dynamically activated states the way VASim does.
+	SumDynamicStates int64
+	// SumActivePartitions totals partitions with ≥1 enabled state (each
+	// costs an array + local-switch access per cycle, §5.3).
+	SumActivePartitions int64
+	// SumG1Crossings / SumG4Crossings total active G-switch source signals
+	// per cycle (a matched state with ≥1 target behind G-Switch-1/-4
+	// drives one wire into that switch; chained-G4 edges count two hops).
+	SumG1Crossings int64
+	SumG4Crossings int64
+	// MaxActiveStates and MaxActivePartitions are per-cycle peaks.
+	MaxActiveStates, MaxActivePartitions int64
+}
+
+// AvgActiveStates returns the Table-1 activity metric (dynamically
+// activated states per cycle, excluding always-enabled starts).
+func (s ActivityStats) AvgActiveStates() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.SumDynamicStates) / float64(s.Cycles)
+}
+
+// AvgActivePartitions returns the mean number of array accesses per symbol.
+func (s ActivityStats) AvgActivePartitions() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.SumActivePartitions) / float64(s.Cycles)
+}
+
+// AvgActivity converts the totals to per-symbol activity for the arch
+// energy model.
+func (s ActivityStats) AvgActivity() arch.ActivityCounts {
+	if s.Cycles == 0 {
+		return arch.ActivityCounts{}
+	}
+	c := float64(s.Cycles)
+	return arch.ActivityCounts{
+		ActivePartitions: float64(s.SumActivePartitions) / c,
+		G1Crossings:      float64(s.SumG1Crossings) / c,
+		G4Crossings:      float64(s.SumG4Crossings) / c,
+	}
+}
+
+// Result summarizes a Run.
+type Result struct {
+	// Matches holds collected report events (when Options.CollectMatches).
+	Matches []Match
+	// MatchCount counts all report events regardless of collection.
+	MatchCount int64
+	// OutputBufferInterrupts counts CPU interrupts raised by output-buffer
+	// fills (§2.8).
+	OutputBufferInterrupts int64
+	// FIFORefills counts cache-line reads refilling the input FIFO (§2.8).
+	FIFORefills int64
+	// Activity is the per-cycle statistics accumulation.
+	Activity ActivityStats
+}
+
+// crossTarget is one programmed G-switch cross-point from a source slot.
+type crossTarget struct {
+	part int32
+	slot int32
+	via  mapper.Via
+}
+
+// partition is the runtime state of one 256-STE partition.
+type partition struct {
+	// rows is the SRAM content: rows[sym] = match vector for that symbol
+	// (one bit per slot). This is exactly the 256×256 bit layout of the
+	// two 4 KB arrays.
+	rows [256]*bitvec.Vector
+	// enabled is the active-state vector; next accumulates activations for
+	// the following cycle.
+	enabled, next *bitvec.Vector
+	matched       *bitvec.Vector
+	// always marks all-input start slots (OR-ed into enabled every cycle);
+	// startOfData marks slots enabled only for the first symbol.
+	always, startOfData *bitvec.Vector
+	// reports marks reporting slots.
+	reports *bitvec.Vector
+	// localOut[slot] is the local-switch row: slots activated within the
+	// partition when slot matches (nil when none).
+	localOut []*bitvec.Vector
+	// crossOut[slot] lists G-switch targets (nil when none).
+	crossOut [][]crossTarget
+	// hasAlways caches always.Any(); alwaysCnt caches always.Count().
+	hasAlways bool
+	alwaysCnt int64
+	// code/state look up report metadata by slot.
+	code  []int32
+	state []nfa.StateID
+}
+
+// Machine simulates one mapped automaton.
+type Machine struct {
+	pl    *mapper.Placement
+	opts  Options
+	parts []*partition
+	// curActive lists partitions with any enabled bits this cycle.
+	curActive []int32
+	// touched is the scratch list of partitions participating in the
+	// current commit phase; touchedFlag dedups it.
+	touched     []int32
+	touchedFlag []bool
+	// alwaysParts lists partitions containing all-input starts.
+	alwaysParts []int32
+	scratch     *bitvec.Vector
+	pos         int64
+	outBuffered int
+	res         Result
+}
+
+// New builds a machine from a placement (which it verifies first).
+func New(pl *mapper.Placement, opts Options) (*Machine, error) {
+	if err := pl.Verify(); err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	m := &Machine{pl: pl, opts: opts, scratch: bitvec.NewVector(arch.PartitionSTEs)}
+	n := pl.NFA
+	size := arch.PartitionSTEs
+	m.parts = make([]*partition, len(pl.Partitions))
+	for i := range m.parts {
+		p := &partition{
+			enabled:     bitvec.NewVector(size),
+			next:        bitvec.NewVector(size),
+			matched:     bitvec.NewVector(size),
+			always:      bitvec.NewVector(size),
+			startOfData: bitvec.NewVector(size),
+			reports:     bitvec.NewVector(size),
+			localOut:    make([]*bitvec.Vector, size),
+			crossOut:    make([][]crossTarget, size),
+			code:        make([]int32, size),
+			state:       make([]nfa.StateID, size),
+		}
+		for r := range p.rows {
+			p.rows[r] = bitvec.NewVector(size)
+		}
+		m.parts[i] = p
+	}
+	// Program SRAM rows, start/report masks, and local switches.
+	for s := range n.States {
+		st := &n.States[s]
+		pi, slot := int(pl.PartitionOf[s]), int(pl.SlotOf[s])
+		p := m.parts[pi]
+		p.state[slot] = nfa.StateID(s)
+		p.code[slot] = st.ReportCode
+		for _, sym := range st.Class.Symbols() {
+			p.rows[sym].Set(slot)
+		}
+		switch st.Start {
+		case nfa.AllInput:
+			p.always.Set(slot)
+		case nfa.StartOfData:
+			p.startOfData.Set(slot)
+		}
+		if st.Report {
+			p.reports.Set(slot)
+		}
+		for _, v := range st.Out {
+			if pl.PartitionOf[v] == int32(pi) {
+				if p.localOut[slot] == nil {
+					p.localOut[slot] = bitvec.NewVector(size)
+				}
+				p.localOut[slot].Set(int(pl.SlotOf[v]))
+			}
+		}
+	}
+	// Program G-switch cross-points.
+	for _, ce := range pl.Cross {
+		p := m.parts[ce.SrcPartition]
+		p.crossOut[ce.SrcSlot] = append(p.crossOut[ce.SrcSlot], crossTarget{
+			part: int32(ce.DstPartition), slot: int32(ce.DstSlot), via: ce.Via,
+		})
+	}
+	for i, p := range m.parts {
+		p.hasAlways = p.always.Any()
+		p.alwaysCnt = int64(p.always.Count())
+		if p.hasAlways {
+			m.alwaysParts = append(m.alwaysParts, int32(i))
+		}
+	}
+	m.touchedFlag = make([]bool, len(m.parts))
+	m.Reset()
+	return m, nil
+}
+
+// Reset rewinds the machine to input offset 0 (§2.10's configuration step
+// leaves exactly this state: start states enabled).
+func (m *Machine) Reset() {
+	m.pos = 0
+	m.outBuffered = 0
+	m.res = Result{}
+	m.curActive = m.curActive[:0]
+	for i, p := range m.parts {
+		p.enabled.CopyFrom(p.always)
+		p.enabled.OrWith(p.startOfData)
+		p.next.Reset()
+		if p.enabled.Any() {
+			m.curActive = append(m.curActive, int32(i))
+		}
+	}
+}
+
+// Pos returns the offset of the next symbol.
+func (m *Machine) Pos() int64 { return m.pos }
+
+// NumPartitions returns the mapped partition count.
+func (m *Machine) NumPartitions() int { return len(m.parts) }
+
+// Step processes one input symbol.
+func (m *Machine) Step(sym byte) {
+	st := &m.res.Activity
+	st.Cycles++
+	var activeStates, dynamicStates, activeParts int64
+
+	// All currently-active and always-start partitions take part in the
+	// end-of-cycle commit; cross activations add more.
+	touched := m.touched[:0]
+	mark := func(pi int32) {
+		if !m.touchedFlag[pi] {
+			m.touchedFlag[pi] = true
+			touched = append(touched, pi)
+		}
+	}
+	for _, pi := range m.curActive {
+		mark(pi)
+	}
+	for _, pi := range m.alwaysParts {
+		mark(pi)
+	}
+
+	for _, pi := range m.curActive {
+		p := m.parts[pi]
+		en := p.enabled.Count()
+		activeStates += int64(en)
+		dynamicStates += int64(en) - p.alwaysCnt
+		activeParts++
+		p.matched.And(p.rows[sym], p.enabled)
+		if !p.matched.Any() {
+			continue
+		}
+		if p.matched.Intersects(p.reports) {
+			m.report(p, int(pi))
+		}
+		var g1, g4 int64
+		p.matched.ForEach(func(slot int) {
+			if lo := p.localOut[slot]; lo != nil {
+				p.next.OrWith(lo)
+			}
+			slotG1 := false
+			var slotG4 int64
+			for _, ct := range p.crossOut[slot] {
+				m.parts[ct.part].next.Set(int(ct.slot))
+				mark(ct.part)
+				switch ct.via {
+				case mapper.ViaG1:
+					slotG1 = true
+				case mapper.ViaG4:
+					if slotG4 < 1 {
+						slotG4 = 1
+					}
+				case mapper.ViaChained:
+					slotG4 = 2
+				}
+			}
+			if slotG1 {
+				g1++
+			}
+			g4 += slotG4
+		})
+		st.SumG1Crossings += g1
+		st.SumG4Crossings += g4
+	}
+
+	st.SumActiveStates += activeStates
+	st.SumDynamicStates += dynamicStates
+	st.SumActivePartitions += activeParts
+	if activeStates > st.MaxActiveStates {
+		st.MaxActiveStates = activeStates
+	}
+	if activeParts > st.MaxActivePartitions {
+		st.MaxActivePartitions = activeParts
+	}
+
+	// Commit: enabled' = next ∪ always for every touched partition.
+	m.curActive = m.curActive[:0]
+	for _, pi := range touched {
+		m.touchedFlag[pi] = false
+		p := m.parts[pi]
+		p.enabled.CopyFrom(p.next)
+		p.next.Reset()
+		if p.hasAlways {
+			p.enabled.OrWith(p.always)
+		}
+		if p.enabled.Any() {
+			m.curActive = append(m.curActive, pi)
+		}
+	}
+	m.touched = touched[:0]
+	m.pos++
+}
+
+// report records matched reporting slots of partition p.
+func (m *Machine) report(p *partition, pi int) {
+	m.scratch.And(p.matched, p.reports)
+	m.scratch.ForEach(func(slot int) {
+		m.res.MatchCount++
+		m.outBuffered++
+		if m.outBuffered >= OutputBufferEntries {
+			m.res.OutputBufferInterrupts++
+			m.outBuffered = 0
+		}
+		if m.opts.CollectMatches &&
+			(m.opts.MatchLimit == 0 || len(m.res.Matches) < m.opts.MatchLimit) {
+			m.res.Matches = append(m.res.Matches, Match{
+				Offset:    m.pos,
+				Code:      p.code[slot],
+				State:     p.state[slot],
+				Partition: pi,
+			})
+		}
+	})
+}
+
+// Run processes the input and returns a snapshot of the accumulated
+// result. The machine keeps its stream position, so consecutive Runs
+// continue the stream; call Reset to start over.
+func (m *Machine) Run(input []byte) *Result {
+	m.res.FIFORefills += int64(arch.CeilDiv(len(input), cacheLineBytes))
+	for _, b := range input {
+		m.Step(b)
+	}
+	r := m.res
+	return &r
+}

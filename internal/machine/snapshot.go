@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// snapshotMagic guards snapshot decoding.
+var snapshotMagic = [8]byte{'C', 'A', 'S', 'N', 'A', 'P', '0', '1'}
+
+// Snapshot captures the machine's execution state: the input-symbol
+// counter and every partition's active-state vector. This implements the
+// paper's §2.9 suspend/resume: "the NFA process may also be suspended and
+// later resumed by recording the number of input symbols processed and the
+// active state vector to memory."
+type Snapshot struct {
+	// Pos is the input offset of the next symbol.
+	Pos int64
+	// Enabled holds each partition's active-state vector words.
+	Enabled [][]uint64
+	// OutBuffered is the current output-buffer occupancy.
+	OutBuffered int
+}
+
+// Snapshot captures the current execution state. Accumulated statistics
+// and collected matches are NOT part of the snapshot (they belong to the
+// monitoring side, not the architectural state).
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{Pos: m.pos, OutBuffered: m.outBuffered}
+	s.Enabled = make([][]uint64, len(m.parts))
+	for i, p := range m.parts {
+		s.Enabled[i] = append([]uint64(nil), p.enabled.Words()...)
+	}
+	return s
+}
+
+// Restore resumes execution from a snapshot taken on a machine with the
+// same placement (same partition count and sizes).
+func (m *Machine) Restore(s *Snapshot) error {
+	if len(s.Enabled) != len(m.parts) {
+		return fmt.Errorf("machine: snapshot has %d partitions, machine has %d", len(s.Enabled), len(m.parts))
+	}
+	for i, words := range s.Enabled {
+		if len(words) != len(m.parts[i].enabled.Words()) {
+			return fmt.Errorf("machine: snapshot partition %d has %d words, want %d",
+				i, len(words), len(m.parts[i].enabled.Words()))
+		}
+	}
+	m.pos = s.Pos
+	m.outBuffered = s.OutBuffered
+	m.res = Result{}
+	m.curActive = m.curActive[:0]
+	for i, p := range m.parts {
+		copy(p.enabled.Words(), s.Enabled[i])
+		p.next.Reset()
+		if p.enabled.Any() {
+			m.curActive = append(m.curActive, int32(i))
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the snapshot (fixed little-endian framing).
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(snapshotMagic); err != nil {
+		return n, err
+	}
+	if err := write(s.Pos); err != nil {
+		return n, err
+	}
+	if err := write(int64(s.OutBuffered)); err != nil {
+		return n, err
+	}
+	if err := write(int64(len(s.Enabled))); err != nil {
+		return n, err
+	}
+	for _, words := range s.Enabled {
+		if err := write(int64(len(words))); err != nil {
+			return n, err
+		}
+		if err := write(words); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var magic [8]byte
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("machine: snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("machine: not a snapshot (bad magic %q)", magic)
+	}
+	s := &Snapshot{}
+	var outBuf, parts int64
+	if err := binary.Read(r, binary.LittleEndian, &s.Pos); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &outBuf); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &parts); err != nil {
+		return nil, err
+	}
+	if parts < 0 || parts > 1<<20 {
+		return nil, fmt.Errorf("machine: implausible partition count %d", parts)
+	}
+	s.OutBuffered = int(outBuf)
+	s.Enabled = make([][]uint64, parts)
+	for i := range s.Enabled {
+		var words int64
+		if err := binary.Read(r, binary.LittleEndian, &words); err != nil {
+			return nil, err
+		}
+		if words < 0 || words > 1<<16 {
+			return nil, fmt.Errorf("machine: implausible word count %d", words)
+		}
+		s.Enabled[i] = make([]uint64, words)
+		if err := binary.Read(r, binary.LittleEndian, s.Enabled[i]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/mapper"
+	"cacheautomaton/internal/regexc"
+)
+
+func TestSuspendResumeMidMatch(t *testing.T) {
+	// Suspend in the middle of a match; the resumed machine must complete
+	// it exactly as an uninterrupted run would (§2.9).
+	n, err := regexc.CompileSet([]string{"abcdef", "x[yz]{3}w"}, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := mapper.Map(n, mapper.Config{Design: arch.NewDesign(arch.PerfOpt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("..abcdef..xyzyw..abcdef")
+
+	ref, _ := New(pl, Options{CollectMatches: true})
+	want := ref.Run(input)
+
+	for cut := 1; cut < len(input)-1; cut++ {
+		m1, _ := New(pl, Options{CollectMatches: true})
+		r1 := m1.Run(input[:cut])
+		snap := m1.Snapshot()
+
+		// Serialize + deserialize the snapshot.
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snap2, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m2, _ := New(pl, Options{CollectMatches: true})
+		if err := m2.Restore(snap2); err != nil {
+			t.Fatal(err)
+		}
+		if m2.Pos() != int64(cut) {
+			t.Fatalf("cut %d: resumed Pos = %d", cut, m2.Pos())
+		}
+		r2 := m2.Run(input[cut:])
+
+		total := int64(len(r1.Matches) + len(r2.Matches))
+		if total != want.MatchCount {
+			t.Fatalf("cut %d: %d+%d matches, want %d", cut, len(r1.Matches), len(r2.Matches), want.MatchCount)
+		}
+		combined := append(append([]Match(nil), r1.Matches...), r2.Matches...)
+		for i, m := range combined {
+			if m.Offset != want.Matches[i].Offset || m.Code != want.Matches[i].Code {
+				t.Fatalf("cut %d: match %d = %+v, want %+v", cut, i, m, want.Matches[i])
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsMismatchedPlacement(t *testing.T) {
+	n1, _ := regexc.CompileSet([]string{"abc"}, regexc.Options{})
+	n2, _ := regexc.CompileSet([]string{strings.Repeat("long", 200)}, regexc.Options{})
+	pl1, _ := mapper.Map(n1, mapper.Config{Design: arch.NewDesign(arch.PerfOpt)})
+	pl2, _ := mapper.Map(n2, mapper.Config{Design: arch.NewDesign(arch.PerfOpt)})
+	m1, _ := New(pl1, Options{})
+	m2, _ := New(pl2, Options{})
+	if err := m2.Restore(m1.Snapshot()); err == nil {
+		t.Error("restoring a 1-partition snapshot into a multi-partition machine should fail")
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Error("garbage should not decode")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should not decode")
+	}
+}
+
+func TestSnapshotExcludesStatistics(t *testing.T) {
+	n, _ := regexc.CompileSet([]string{"aa"}, regexc.Options{})
+	pl, _ := mapper.Map(n, mapper.Config{Design: arch.NewDesign(arch.PerfOpt)})
+	m, _ := New(pl, Options{CollectMatches: true})
+	m.Run([]byte("aaaa"))
+	snap := m.Snapshot()
+	m2, _ := New(pl, Options{CollectMatches: true})
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	res := m2.Run(nil)
+	if res.MatchCount != 0 || res.Activity.Cycles != 0 {
+		t.Error("restored machine should start with clean statistics")
+	}
+}

@@ -1,0 +1,150 @@
+package mapper
+
+import (
+	"fmt"
+	"testing"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/partition"
+	"cacheautomaton/internal/regexc"
+)
+
+// naivePartitions computes what a packing-free mapper would need: one
+// partition per connected component (the AP-style alternative the paper's
+// greedy packing improves on, §3.2-3.3).
+func naivePartitions(n *nfa.NFA) int {
+	comps, _ := n.ConnectedComponents()
+	total := 0
+	for _, c := range comps {
+		total += arch.CeilDiv(c.Size(), arch.PartitionSTEs)
+	}
+	return total
+}
+
+// TestAblationGreedyPackingVsNaive quantifies the space benefit of the
+// compiler's greedy component packing: for rule sets with small components
+// (the common case in Table 1), packing cuts partition count by the ratio
+// of partition size to component size.
+func TestAblationGreedyPackingVsNaive(t *testing.T) {
+	var pats []string
+	for i := 0; i < 300; i++ {
+		pats = append(pats, fmt.Sprintf("rule%03dbody[af]{2}", i)) // 13-state CCs
+	}
+	n, err := regexc.CompileSet(pats, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Map(n, Config{Design: arch.NewDesign(arch.PerfOpt), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := pl.NumPartitions()
+	naive := naivePartitions(n)
+	if naive != 300 {
+		t.Fatalf("naive = %d, want 300 (one partition per CC)", naive)
+	}
+	// 300 CCs × 13 states pack ~19 per partition → ≈16 partitions.
+	if greedy > naive/10 {
+		t.Errorf("greedy packing uses %d partitions vs naive %d; expected ≥10x reduction", greedy, naive)
+	}
+}
+
+// TestAblationPartitionerVsContiguousSplit quantifies the k-way
+// partitioner's benefit over a naive contiguous state split for a large
+// component: fewer crossing edges means fewer G-switch signals, which is
+// what makes the mapping feasible at all.
+func TestAblationPartitionerVsContiguousSplit(t *testing.T) {
+	// A component with locality the partitioner can exploit: 4 chains of
+	// 300 that cross-link every 50 states (one CC of 1200 states).
+	a := nfa.New()
+	var chains [4][]nfa.StateID
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 300; i++ {
+			st := nfa.State{Class: newClass(byte('a' + c))}
+			if i == 0 {
+				st.Start = nfa.AllInput
+			}
+			id := a.AddState(st)
+			chains[c] = append(chains[c], id)
+			if i > 0 {
+				a.AddEdge(chains[c][i-1], id)
+			}
+		}
+	}
+	for i := 49; i < 300; i += 50 {
+		for c := 0; c < 4; c++ {
+			a.AddEdge(chains[c][i], chains[(c+1)%4][i])
+		}
+	}
+	a.States[chains[0][299]].Report = true
+
+	pl, err := Map(a, Config{Design: arch.NewDesign(arch.SpaceOpt), Seed: 1, AllowChainedG4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart := len(pl.Cross)
+
+	// Contiguous split: states 0..255 → partition 0, etc.
+	k := arch.CeilDiv(a.NumStates(), arch.PartitionSTEs)
+	contiguousCross := 0
+	for u := range a.States {
+		for _, v := range a.States[u].Out {
+			if u/arch.PartitionSTEs != int(v)/arch.PartitionSTEs {
+				contiguousCross++
+			}
+		}
+	}
+	t.Logf("k=%d: partitioner %d crossings vs contiguous %d", k, smart, contiguousCross)
+	// The compiler's split (DFS peel or k-way) must never cut more than a
+	// naive contiguous state split; on locality-rich graphs the k-way
+	// fallback cuts strictly less (asserted below via partition.KWay).
+	if smart > contiguousCross {
+		t.Errorf("compiler split (%d crossings) worse than contiguous split (%d)", smart, contiguousCross)
+	}
+	gb := partition.NewBuilder(a.NumStates())
+	for u := range a.States {
+		for _, v := range a.States[u].Out {
+			gb.AddEdge(int32(u), int32(v), 1)
+		}
+	}
+	assign, err := partition.KWay(gb.Build(), k, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kwayCross := 0
+	for u := range a.States {
+		for _, v := range a.States[u].Out {
+			if assign[u] != assign[v] {
+				kwayCross++
+			}
+		}
+	}
+	if kwayCross >= contiguousCross {
+		t.Errorf("k-way partitioner (%d crossings) should beat contiguous split (%d)", kwayCross, contiguousCross)
+	}
+}
+
+// BenchmarkAblationPacking measures mapping time and reports the packing
+// gain as a metric.
+func BenchmarkAblationPacking(b *testing.B) {
+	var pats []string
+	for i := 0; i < 500; i++ {
+		pats = append(pats, fmt.Sprintf("p%03d[xy]z{2}", i))
+	}
+	n, err := regexc.CompileSet(pats, regexc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pl *Placement
+	for i := 0; i < b.N; i++ {
+		pl, err = Map(n, Config{Design: arch.NewDesign(arch.PerfOpt), Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(naivePartitions(n))/float64(pl.NumPartitions()), "packing-gain")
+}
+
+func newClass(b byte) bitvec.Class { return bitvec.ClassOf(b) }

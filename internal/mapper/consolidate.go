@@ -1,0 +1,286 @@
+package mapper
+
+import (
+	"sort"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/nfa"
+)
+
+// peelSplit cuts a component into DFS-contiguous chunks of up to
+// chunkSize states. On the tree-like components rule compilation produces
+// (tries, chains, alternation fans), a DFS segment has a small frontier,
+// so the cut — and hence the switch-signal budgets — stays small while
+// the leading chunks are completely full. The k-way partitioner remains
+// the fallback for components where peeling cuts too much.
+func peelSplit(sub *nfa.NFA, chunkSize int) [][]int32 {
+	n := sub.NumStates()
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	var stack []int32
+	// DFS from start states first, then any unvisited state (the
+	// component is connected only weakly, so edge direction can strand
+	// states).
+	push := func(v int32) {
+		if !visited[v] {
+			visited[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for _, s := range sub.StartStates() {
+		push(int32(s))
+	}
+	for seed := 0; ; seed++ {
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, v)
+			out := sub.States[v].Out
+			for i := len(out) - 1; i >= 0; i-- {
+				push(int32(out[i]))
+			}
+		}
+		if len(order) == n {
+			break
+		}
+		for ; seed < n; seed++ {
+			if !visited[seed] {
+				push(int32(seed))
+				break
+			}
+		}
+	}
+	var parts [][]int32
+	for off := 0; off < n; off += chunkSize {
+		end := off + chunkSize
+		if end > n {
+			end = n
+		}
+		parts = append(parts, append([]int32(nil), order[off:end]...))
+	}
+	return parts
+}
+
+// partitionBudgets holds the distinct-source signal sets of one placed
+// partition, used by the consolidation pass.
+type partitionBudgets struct {
+	outG1, outG4, inG1, inG4 map[nfa.StateID]bool
+}
+
+// consolidate merges same-way partitions whose occupancies fit together
+// and whose combined switch budgets still hold. Merging two same-way
+// partitions never affects any other partition's budgets (sources keep
+// their identity and their way), and edges between the two become local —
+// so a simple pairwise check suffices. This recovers the packing density
+// the paper's greedy packer gets for small components on the partitions
+// produced by large-component splitting.
+func (m *builder) consolidate() {
+	pl := m.pl
+	d := pl.Design
+	// Current signal sets per partition.
+	bud := make([]partitionBudgets, len(pl.Partitions))
+	for i := range bud {
+		bud[i] = partitionBudgets{
+			outG1: map[nfa.StateID]bool{}, outG4: map[nfa.StateID]bool{},
+			inG1: map[nfa.StateID]bool{}, inG4: map[nfa.StateID]bool{},
+		}
+	}
+	for u := range pl.NFA.States {
+		for _, v := range pl.NFA.States[u].Out {
+			pu, pv := pl.PartitionOf[u], pl.PartitionOf[v]
+			if pu == pv {
+				continue
+			}
+			if pl.Partitions[pu].Way == pl.Partitions[pv].Way {
+				bud[pu].outG1[nfa.StateID(u)] = true
+				bud[pv].inG1[nfa.StateID(u)] = true
+			} else {
+				bud[pu].outG4[nfa.StateID(u)] = true
+				bud[pv].inG4[nfa.StateID(u)] = true
+			}
+		}
+	}
+	// Group partitions by way, smallest first.
+	byWay := map[int][]int{}
+	for pi := range pl.Partitions {
+		byWay[pl.Partitions[pi].Way] = append(byWay[pl.Partitions[pi].Way], pi)
+	}
+	dead := make([]bool, len(pl.Partitions))
+	for _, group := range byWay {
+		sort.Slice(group, func(a, b int) bool {
+			if pl.Partitions[group[a]].Used != pl.Partitions[group[b]].Used {
+				return pl.Partitions[group[a]].Used < pl.Partitions[group[b]].Used
+			}
+			return group[a] < group[b]
+		})
+		for x := 0; x < len(group); x++ {
+			j := group[x]
+			if dead[j] {
+				continue
+			}
+			for y := len(group) - 1; y > x; y-- {
+				i := group[y]
+				if dead[i] || pl.Partitions[i].Used+pl.Partitions[j].Used > arch.PartitionSTEs {
+					continue
+				}
+				if !m.mergeOK(i, j, bud, d) {
+					continue
+				}
+				m.mergePartitions(i, j, bud)
+				dead[j] = true
+				break
+			}
+		}
+	}
+	// Compact the partition list.
+	remap := make([]int32, len(pl.Partitions))
+	var kept []Partition
+	for pi := range pl.Partitions {
+		if dead[pi] {
+			remap[pi] = -1
+			continue
+		}
+		remap[pi] = int32(len(kept))
+		kept = append(kept, pl.Partitions[pi])
+	}
+	pl.Partitions = kept
+	for s := range pl.PartitionOf {
+		pl.PartitionOf[s] = remap[pl.PartitionOf[s]]
+	}
+	// Way fill bookkeeping is recomputed implicitly by later passes; the
+	// builder is done allocating at this point.
+}
+
+// mergeOK checks the combined budgets of merging partition j into i
+// (same way).
+func (m *builder) mergeOK(i, j int, bud []partitionBudgets, d *arch.Design) bool {
+	pl := m.pl
+	// Count set unions, minus signals that become local (sources whose
+	// remaining external targets all fall inside the merged pair).
+	countOut := func(a, b map[nfa.StateID]bool) int {
+		seen := map[nfa.StateID]bool{}
+		for s := range a {
+			seen[s] = true
+		}
+		for s := range b {
+			seen[s] = true
+		}
+		n := 0
+		for s := range seen {
+			// Does s still have a target outside the merged pair?
+			for _, v := range pl.NFA.States[s].Out {
+				pv := int(pl.PartitionOf[v])
+				if pv != i && pv != j && pl.Partitions[pv].Way == pl.Partitions[i].Way {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	countOutG4 := func(a, b map[nfa.StateID]bool) int {
+		seen := map[nfa.StateID]bool{}
+		for s := range a {
+			seen[s] = true
+		}
+		for s := range b {
+			seen[s] = true
+		}
+		n := 0
+		for s := range seen {
+			for _, v := range pl.NFA.States[s].Out {
+				pv := int(pl.PartitionOf[v])
+				if pv != i && pv != j && pl.Partitions[pv].Way != pl.Partitions[i].Way {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	countIn := func(a, b map[nfa.StateID]bool) int {
+		seen := map[nfa.StateID]bool{}
+		for s := range a {
+			seen[s] = true
+		}
+		for s := range b {
+			seen[s] = true
+		}
+		n := 0
+		for s := range seen {
+			ps := int(pl.PartitionOf[s])
+			if ps != i && ps != j {
+				n++
+			}
+		}
+		return n
+	}
+	if countOut(bud[i].outG1, bud[j].outG1) > d.G1SignalsPerPartition {
+		return false
+	}
+	if countOutG4(bud[i].outG4, bud[j].outG4) > d.G4SignalsPerPartition {
+		return false
+	}
+	if countIn(bud[i].inG1, bud[j].inG1) > d.G1SignalsPerPartition {
+		return false
+	}
+	if countIn(bud[i].inG4, bud[j].inG4) > d.G4SignalsPerPartition {
+		return false
+	}
+	return true
+}
+
+// mergePartitions moves partition j's states into i and refreshes the two
+// partitions' budget sets.
+func (m *builder) mergePartitions(i, j int, bud []partitionBudgets) {
+	pl := m.pl
+	for slot, s := range pl.Partitions[j].Slots {
+		if s == nfa.None {
+			continue
+		}
+		_ = slot
+		p := &pl.Partitions[i]
+		newSlot := p.Used
+		p.Slots[newSlot] = s
+		p.Used++
+		pl.PartitionOf[s] = int32(i)
+		pl.SlotOf[s] = int32(newSlot)
+	}
+	pl.Partitions[j].Used = 0
+	for k := range pl.Partitions[j].Slots {
+		pl.Partitions[j].Slots[k] = nfa.None
+	}
+	// Recompute the merged partition's sets exactly.
+	bud[i] = partitionBudgets{
+		outG1: map[nfa.StateID]bool{}, outG4: map[nfa.StateID]bool{},
+		inG1: map[nfa.StateID]bool{}, inG4: map[nfa.StateID]bool{},
+	}
+	bud[j] = partitionBudgets{
+		outG1: map[nfa.StateID]bool{}, outG4: map[nfa.StateID]bool{},
+		inG1: map[nfa.StateID]bool{}, inG4: map[nfa.StateID]bool{},
+	}
+	for u := range pl.NFA.States {
+		pu := int(pl.PartitionOf[u])
+		for _, v := range pl.NFA.States[u].Out {
+			pv := int(pl.PartitionOf[v])
+			if pu == pv {
+				continue
+			}
+			sameWay := pl.Partitions[pu].Way == pl.Partitions[pv].Way
+			if pu == i {
+				if sameWay {
+					bud[i].outG1[nfa.StateID(u)] = true
+				} else {
+					bud[i].outG4[nfa.StateID(u)] = true
+				}
+			}
+			if pv == i {
+				if sameWay {
+					bud[i].inG1[nfa.StateID(u)] = true
+				} else {
+					bud[i].inG4[nfa.StateID(u)] = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/partition"
+)
+
+// Config controls the mapping.
+type Config struct {
+	// Design selects CA_P or CA_S parameters (required).
+	Design *arch.Design
+	// WaysPerSlice is how many ways per slice the NFA may occupy
+	// (default 8, §2.9).
+	WaysPerSlice int
+	// Seed makes the k-way partitioner deterministic.
+	Seed int64
+	// MaxSplitRetries bounds how often a large connected component is
+	// re-split with larger k when switch budgets fail (default 8).
+	MaxSplitRetries int
+	// AllowChainedG4 permits mapping components larger than one G-Switch-4
+	// group (64 partitions) by modeling cross-group edges as chained G4
+	// hops. The paper's switches have no switch-to-switch wiring; this
+	// relaxation is documented in DESIGN.md. Default true for the space
+	// design; ignored for CA_P (which never uses G4).
+	AllowChainedG4 bool
+}
+
+func (c Config) waysPerSlice() int {
+	if c.WaysPerSlice <= 0 {
+		return 8
+	}
+	return c.WaysPerSlice
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxSplitRetries <= 0 {
+		return 12
+	}
+	return c.MaxSplitRetries
+}
+
+// partitionsPerWay returns the way capacity for the design: CA_P uses only
+// the A[16]=0 arrays of each 16 KB sub-array (§3.1), i.e. 8 partitions per
+// way; CA_S uses all 16.
+func partitionsPerWay(d *arch.Design) int {
+	if d.Kind == arch.PerfOpt {
+		return 8
+	}
+	return 16
+}
+
+// Map compiles the NFA onto the Cache Automaton.
+func Map(n *nfa.NFA, cfg Config) (*Placement, error) {
+	if cfg.Design == nil {
+		return nil, fmt.Errorf("mapper: Config.Design is required")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("mapper: invalid NFA: %w", err)
+	}
+	m := &builder{
+		cfg: cfg,
+		pl: &Placement{
+			NFA:              n,
+			Design:           cfg.Design,
+			PartitionOf:      make([]int32, n.NumStates()),
+			SlotOf:           make([]int32, n.NumStates()),
+			WaysPerSlice:     cfg.waysPerSlice(),
+			PartitionsPerWay: partitionsPerWay(cfg.Design),
+		},
+	}
+	for i := range m.pl.PartitionOf {
+		m.pl.PartitionOf[i] = -1
+		m.pl.SlotOf[i] = -1
+	}
+
+	comps, _ := n.ConnectedComponents() // ascending by size
+	var small, big []nfa.Component
+	for _, c := range comps {
+		if c.Size() <= arch.PartitionSTEs {
+			small = append(small, c)
+		} else {
+			big = append(big, c)
+		}
+	}
+	// Large components first: they need contiguous way real estate.
+	// Process largest first so alignment holes are created early and then
+	// backfilled by small components.
+	sort.SliceStable(big, func(a, b int) bool { return big[a].Size() > big[b].Size() })
+	for _, c := range big {
+		if err := m.mapLargeComponent(c); err != nil {
+			return nil, err
+		}
+	}
+	m.packSmallComponents(small)
+	m.assignWaysForUnplaced()
+	m.consolidate()
+	if err := m.computeCrossEdges(); err != nil {
+		return nil, err
+	}
+	return m.pl, nil
+}
+
+// builder holds mapping state.
+type builder struct {
+	cfg Config
+	pl  *Placement
+	// wayFill[w] = partitions already placed in way w.
+	wayFill []int
+	// pending are partition indices not yet assigned a way (small-CC
+	// partitions, placed last into any free slot).
+	pending []int
+}
+
+// newPartition allocates a partition; way < 0 defers way assignment.
+func (m *builder) newPartition(way int) int {
+	slots := make([]nfa.StateID, arch.PartitionSTEs)
+	for i := range slots {
+		slots[i] = nfa.None
+	}
+	idx := len(m.pl.Partitions)
+	m.pl.Partitions = append(m.pl.Partitions, Partition{Slots: slots, Way: way})
+	if way >= 0 {
+		m.fillWay(way)
+	} else {
+		m.pending = append(m.pending, idx)
+	}
+	return idx
+}
+
+func (m *builder) fillWay(way int) {
+	for way >= len(m.wayFill) {
+		m.wayFill = append(m.wayFill, 0)
+	}
+	m.wayFill[way]++
+}
+
+// place puts state s into partition pi at the next free slot.
+func (m *builder) place(s nfa.StateID, pi int) {
+	p := &m.pl.Partitions[pi]
+	if p.Used >= len(p.Slots) {
+		panic("mapper: partition overflow")
+	}
+	slot := p.Used
+	p.Slots[slot] = s
+	p.Used++
+	m.pl.PartitionOf[s] = int32(pi)
+	m.pl.SlotOf[s] = int32(slot)
+}
+
+// packSmallComponents greedily packs components ≤256 states, smallest
+// first (§3.3). Self-contained components have no switch traffic, so they
+// first backfill free slots left by large-component partitions, then open
+// new (way-deferred) partitions.
+func (m *builder) packSmallComponents(small []nfa.Component) {
+	cur := -1
+	backfill := 0 // next existing partition to consider
+	for _, c := range small {
+		if cur == -1 || m.pl.Partitions[cur].Used+c.Size() > arch.PartitionSTEs {
+			cur = -1
+			for ; backfill < len(m.pl.Partitions); backfill++ {
+				if m.pl.Partitions[backfill].Used+c.Size() <= arch.PartitionSTEs {
+					cur = backfill
+					break
+				}
+			}
+			if cur == -1 {
+				cur = m.newPartition(-1)
+			}
+		}
+		for _, s := range c.States {
+			m.place(s, cur)
+		}
+	}
+}
+
+// mapLargeComponent splits a component of >256 states across partitions
+// and places them into ways, trying in order: a DFS peel split (full
+// chunks, small cuts on tree-like components), then balanced k-way
+// partitioning with tight packing, then raw balanced k-way — retrying
+// with larger k until the interconnect budgets hold.
+func (m *builder) mapLargeComponent(c nfa.Component) error {
+	sub, orig := m.pl.NFA.Subgraph(c.States)
+	gb := partition.NewBuilder(sub.NumStates())
+	for u := range sub.States {
+		for _, v := range sub.States[u].Out {
+			gb.AddEdge(int32(u), int32(v), 1)
+		}
+	}
+	g := gb.Build()
+
+	d := m.cfg.Design
+	ppw := partitionsPerWay(d)
+
+	// Attempt 0: DFS peel into nearly-full chunks.
+	if parts := peelSplit(sub, arch.PartitionSTEs-2); m.tryCommit(sub, orig, parts, ppw) == nil {
+		return nil
+	}
+
+	// Fallback: balanced k-way with growing k.
+	slack := arch.PartitionSTEs * 9 / 10
+	if c.Size() > 8*arch.PartitionSTEs {
+		slack = arch.PartitionSTEs * 8 / 10
+	}
+	k := arch.CeilDiv(c.Size(), slack)
+	kMin := arch.CeilDiv(c.Size(), arch.PartitionSTEs)
+	var lastErr error
+	for attempt := 0; attempt < m.cfg.maxRetries(); attempt++ {
+		tryK := k
+		if attempt%2 == 1 && kMin < k {
+			tryK = k - 1 - attempt/2
+			if tryK < kMin {
+				tryK = kMin
+			}
+		}
+		tries := 4 + attempt
+		if tries > 8 {
+			tries = 8
+		}
+		assign, err := partition.KWay(g, tryK, partition.Options{
+			Seed:  m.cfg.Seed + int64(attempt)*101,
+			Tries: tries,
+		})
+		if err != nil {
+			return fmt.Errorf("mapper: component of %d states: %w", c.Size(), err)
+		}
+		parts := groupBy(assign, tryK)
+		if over := oversized(parts); over >= 0 {
+			lastErr = fmt.Errorf("part %d has %d states (>%d)", over, len(parts[over]), arch.PartitionSTEs)
+			if tryK == k {
+				grown := arch.CeilDiv(k*len(parts[over]), arch.PartitionSTEs)
+				if grown <= k {
+					grown = k + 1
+				}
+				k = grown
+			}
+			continue
+		}
+		if d.Kind == arch.PerfOpt && tryK > ppw {
+			lastErr = fmt.Errorf("component needs %d partitions but CA_P confines a component to one way (%d partitions)", tryK, ppw)
+			continue
+		}
+		// Tight-packed layout first, then the raw balanced split.
+		committed := false
+		for _, pack := range []bool{true, false} {
+			cand := deepCopyParts(parts)
+			if pack {
+				bsPack := newBudgetState(sub, cand, orderByConnectivity(sub, cand), ppw)
+				tightPack(bsPack)
+				cand = bsPack.parts
+			}
+			if err := m.tryCommit(sub, orig, cand, ppw); err != nil {
+				lastErr = err
+				continue
+			}
+			committed = true
+			break
+		}
+		if committed {
+			return nil
+		}
+		k++
+	}
+	return fmt.Errorf("mapper: cannot satisfy switch budgets for component of %d states after %d attempts (design %v): %v",
+		c.Size(), m.cfg.maxRetries(), d.Kind, lastErr)
+}
+
+// tryCommit validates (and budget-repairs) one candidate split; on success
+// it allocates ways and places the states, otherwise the builder is left
+// untouched.
+func (m *builder) tryCommit(sub *nfa.NFA, orig []nfa.StateID, parts [][]int32, ppw int) error {
+	d := m.cfg.Design
+	if over := oversized(parts); over >= 0 {
+		return fmt.Errorf("part %d has %d states (>%d)", over, len(parts[over]), arch.PartitionSTEs)
+	}
+	if d.Kind == arch.PerfOpt && len(parts) > ppw {
+		return fmt.Errorf("component needs %d partitions but CA_P confines a component to one way (%d partitions)", len(parts), ppw)
+	}
+	if g4Groups := arch.CeilDiv(len(parts), ppw*4); g4Groups > 1 && !m.cfg.AllowChainedG4 {
+		return fmt.Errorf("component spans %d G4 groups and chained-G4 mode is disabled", g4Groups)
+	}
+	order := orderByConnectivity(sub, parts)
+	bs := newBudgetState(sub, parts, order, ppw)
+	if err := repairBudgets(bs, d.G1SignalsPerPartition, d.G4SignalsPerPartition, 400); err != nil {
+		return err
+	}
+	parts = bs.parts
+	order = orderByConnectivity(sub, parts)
+	ways := m.allocateWays(len(parts), ppw)
+	for oi, pi := range order {
+		way := ways[oi/ppw]
+		np := m.newPartition(way)
+		for _, v := range parts[pi] {
+			m.place(orig[v], np)
+		}
+	}
+	return nil
+}
+
+// deepCopyParts clones a part assignment.
+func deepCopyParts(parts [][]int32) [][]int32 {
+	out := make([][]int32, len(parts))
+	for i, p := range parts {
+		out[i] = append([]int32(nil), p...)
+	}
+	return out
+}
+
+// groupBy converts a vertex→part assignment into per-part vertex lists.
+func groupBy(assign []int32, k int) [][]int32 {
+	parts := make([][]int32, k)
+	for v, p := range assign {
+		parts[p] = append(parts[p], int32(v))
+	}
+	return parts
+}
+
+func oversized(parts [][]int32) int {
+	for i, p := range parts {
+		if len(p) > arch.PartitionSTEs {
+			return i
+		}
+	}
+	return -1
+}
+
+// orderByConnectivity linearizes parts so heavily-communicating parts land
+// in the same way ("the densely connected arrays for CC4 ... are also
+// allocated to arrays in the same way", §3.3): greedy max-connectivity-to-
+// placed ordering.
+func orderByConnectivity(sub *nfa.NFA, parts [][]int32) []int {
+	k := len(parts)
+	partOf := make([]int, sub.NumStates())
+	for pi, vs := range parts {
+		for _, v := range vs {
+			partOf[v] = pi
+		}
+	}
+	conn := make([][]int, k)
+	for i := range conn {
+		conn[i] = make([]int, k)
+	}
+	for u := range sub.States {
+		for _, v := range sub.States[u].Out {
+			pu, pv := partOf[u], partOf[int(v)]
+			if pu != pv {
+				conn[pu][pv]++
+				conn[pv][pu]++
+			}
+		}
+	}
+	placed := make([]bool, k)
+	order := make([]int, 0, k)
+	// Start from the part with highest total connectivity.
+	best, bestC := 0, -1
+	for i := 0; i < k; i++ {
+		t := 0
+		for j := 0; j < k; j++ {
+			t += conn[i][j]
+		}
+		if t > bestC {
+			best, bestC = i, t
+		}
+	}
+	order = append(order, best)
+	placed[best] = true
+	for len(order) < k {
+		next, nextC := -1, -1
+		for i := 0; i < k; i++ {
+			if placed[i] {
+				continue
+			}
+			t := 0
+			for _, o := range order {
+				t += conn[i][o]
+			}
+			if t > nextC {
+				next, nextC = i, t
+			}
+		}
+		order = append(order, next)
+		placed[next] = true
+	}
+	return order
+}
+
+// allocateWays reserves ways for nParts partitions of a large component:
+// contiguous fresh ways, aligned to a G4-group boundary when the component
+// spans multiple ways.
+func (m *builder) allocateWays(nParts, ppw int) []int {
+	nWays := arch.CeilDiv(nParts, ppw)
+	if nWays == 1 {
+		// Single-way components share ways first-fit, like the greedy
+		// packer shares partitions.
+		for w := 0; w < len(m.wayFill); w++ {
+			if m.wayFill[w]+nParts <= ppw {
+				return []int{w}
+			}
+		}
+		return []int{len(m.wayFill)}
+	}
+	start := len(m.wayFill)
+	if start%4 != 0 {
+		start += 4 - start%4 // align to G4 group
+	}
+	ways := make([]int, nWays)
+	for i := range ways {
+		ways[i] = start + i
+	}
+	return ways
+}
+
+// assignWaysForUnplaced places the way-deferred small-component partitions
+// into remaining free way slots, first-fit.
+func (m *builder) assignWaysForUnplaced() {
+	ppw := m.pl.PartitionsPerWay
+	way := 0
+	for _, pi := range m.pending {
+		for {
+			if way >= len(m.wayFill) {
+				m.wayFill = append(m.wayFill, 0)
+			}
+			if m.wayFill[way] < ppw {
+				break
+			}
+			way++
+		}
+		m.pl.Partitions[pi].Way = way
+		m.wayFill[way]++
+	}
+	m.pending = nil
+}
+
+// computeCrossEdges records every inter-partition NFA edge with its switch
+// assignment, and re-verifies the physical budgets after final placement.
+func (m *builder) computeCrossEdges() error {
+	pl := m.pl
+	for u := range pl.NFA.States {
+		for _, v := range pl.NFA.States[u].Out {
+			pu, pv := pl.PartitionOf[u], pl.PartitionOf[v]
+			if pu == pv {
+				continue
+			}
+			sw, dw := pl.Partitions[pu].Way, pl.Partitions[pv].Way
+			var via Via
+			switch {
+			case sw == dw:
+				via = ViaG1
+			case pl.g4Group(sw) == pl.g4Group(dw):
+				via = ViaG4
+			default:
+				via = ViaChained
+			}
+			pl.Cross = append(pl.Cross, CrossEdge{
+				Src: nfa.StateID(u), Dst: v,
+				SrcPartition: int(pu), DstPartition: int(pv),
+				SrcSlot: int(pl.SlotOf[u]), DstSlot: int(pl.SlotOf[v]),
+				Via: via,
+			})
+		}
+	}
+	return pl.Verify()
+}

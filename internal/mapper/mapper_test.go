@@ -1,0 +1,312 @@
+package mapper
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/regexc"
+)
+
+func perfCfg() Config { return Config{Design: arch.NewDesign(arch.PerfOpt), Seed: 1} }
+func spaceCfg() Config {
+	return Config{Design: arch.NewDesign(arch.SpaceOpt), Seed: 1, AllowChainedG4: true}
+}
+
+func mustMap(t *testing.T, n *nfa.NFA, cfg Config) *Placement {
+	t.Helper()
+	pl, err := Map(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestMapSmallRuleSet(t *testing.T) {
+	n, err := regexc.CompileSet([]string{"cat", "dog", "fish"}, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := mustMap(t, n, perfCfg())
+	if pl.NumPartitions() != 1 {
+		t.Errorf("partitions = %d, want 1 (10 states fit one partition)", pl.NumPartitions())
+	}
+	if got := pl.UtilizationMB(); got != 8.0/1024 {
+		t.Errorf("utilization = %f MB, want 8KB", got)
+	}
+	if len(pl.Cross) != 0 {
+		t.Errorf("small CCs should have no cross edges, got %d", len(pl.Cross))
+	}
+	st := pl.ComputeStats()
+	if st.LocalEdges != n.NumEdges() {
+		t.Errorf("local edges = %d, want %d", st.LocalEdges, n.NumEdges())
+	}
+}
+
+func TestGreedyPackingDensity(t *testing.T) {
+	// 100 components of 50 states each: 5 per partition → 20 partitions.
+	var pats []string
+	for i := 0; i < 100; i++ {
+		pats = append(pats, fmt.Sprintf("k%02d%s", i, strings.Repeat("x", 47)))
+	}
+	n, err := regexc.CompileSet(pats, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumStates() != 5000 {
+		t.Fatalf("states = %d, want 5000", n.NumStates())
+	}
+	pl := mustMap(t, n, perfCfg())
+	if pl.NumPartitions() != 20 {
+		t.Errorf("partitions = %d, want 20 (5×50 per partition)", pl.NumPartitions())
+	}
+	st := pl.ComputeStats()
+	if st.AvgFill < 0.97 {
+		t.Errorf("avg fill = %.2f, want ≈0.98", st.AvgFill)
+	}
+}
+
+// chainNFA builds one connected chain of n states (a{n} pattern shape).
+func chainNFA(n int) *nfa.NFA {
+	a := nfa.New()
+	prev := a.AddState(nfa.State{Class: bitvec.ClassOf('a'), Start: nfa.AllInput})
+	for i := 1; i < n; i++ {
+		cur := a.AddState(nfa.State{Class: bitvec.ClassOf('a')})
+		a.AddEdge(prev, cur)
+		prev = cur
+	}
+	a.States[prev].Report = true
+	return a
+}
+
+func TestMapLargeChainPerf(t *testing.T) {
+	n := chainNFA(1000)
+	pl := mustMap(t, n, perfCfg())
+	if got := pl.NumPartitions(); got != arch.CeilDiv(1000, arch.PartitionSTEs) {
+		t.Errorf("partitions = %d, want 4 (peel split packs nearly full)", got)
+	}
+	// CA_P: everything in one way.
+	way := pl.Partitions[0].Way
+	for i := range pl.Partitions {
+		if pl.Partitions[i].Way != way {
+			t.Fatalf("CA_P component split across ways %d and %d", way, pl.Partitions[i].Way)
+		}
+	}
+	st := pl.ComputeStats()
+	// A chain cut k ways has k-1 crossing edges, all G1.
+	if st.G1Edges != pl.NumPartitions()-1 {
+		t.Errorf("G1 edges = %d, want %d", st.G1Edges, pl.NumPartitions()-1)
+	}
+	if st.G4Edges != 0 || st.ChainedEdges != 0 {
+		t.Error("CA_P must not use G4")
+	}
+	if st.MaxOutSignals > 16 || st.MaxInSignals > 16 {
+		t.Errorf("budget exceeded: out %d in %d", st.MaxOutSignals, st.MaxInSignals)
+	}
+}
+
+func TestMapHugeChainSpace(t *testing.T) {
+	// 10000 states: ~40 partitions over ≥3 ways in CA_S.
+	n := chainNFA(10000)
+	pl := mustMap(t, n, spaceCfg())
+	if got := pl.NumPartitions(); got < 40 || got > 55 {
+		t.Errorf("partitions = %d, want ≈40-44 (peel split packs nearly full)", got)
+	}
+	if pl.WaysUsed() < 3 {
+		t.Errorf("ways = %d, want ≥3", pl.WaysUsed())
+	}
+	st := pl.ComputeStats()
+	if st.MaxOutSignals > 16 {
+		t.Errorf("out signals %d exceed budget", st.MaxOutSignals)
+	}
+	total := st.G1Edges + st.G4Edges + st.ChainedEdges
+	// A chain split k ways has ≥ k-1 crossings; non-contiguous parts add a
+	// few more.
+	if total < pl.NumPartitions()-1 || total > pl.NumPartitions()+8 {
+		t.Errorf("crossing edges = %d, want ≈%d", total, pl.NumPartitions()-1)
+	}
+}
+
+func TestMapPerfRejectsOversizedComponent(t *testing.T) {
+	// CA_P confines a component to one way: 8×256 = 2048 states max.
+	n := chainNFA(3000)
+	_, err := Map(n, perfCfg())
+	if err == nil {
+		t.Fatal("CA_P should reject a 3000-state component")
+	}
+	if !strings.Contains(err.Error(), "CA_P") && !strings.Contains(err.Error(), "budget") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The same component maps fine in CA_S.
+	mustMap(t, n, spaceCfg())
+}
+
+func TestMapHubComponent(t *testing.T) {
+	// A hub driving 300 chains of 3: high fan-out from one state. The hub
+	// counts as ONE outgoing signal per destination partition, so budgets
+	// hold.
+	a := nfa.New()
+	hub := a.AddState(nfa.State{Class: bitvec.ClassOf('h'), Start: nfa.AllInput})
+	for i := 0; i < 300; i++ {
+		s1 := a.AddState(nfa.State{Class: bitvec.ClassOf('x')})
+		s2 := a.AddState(nfa.State{Class: bitvec.ClassOf('y'), Report: true})
+		a.AddEdge(hub, s1)
+		a.AddEdge(s1, s2)
+	}
+	pl := mustMap(t, a, spaceCfg())
+	st := pl.ComputeStats()
+	if st.MaxOutSignals > 16 {
+		t.Errorf("hub out signals = %d, want ≤16 (distinct sources, not edges)", st.MaxOutSignals)
+	}
+	if st.MaxInSignals > 16 {
+		t.Errorf("in signals = %d", st.MaxInSignals)
+	}
+}
+
+func TestMapDenseBipartiteFailsGracefully(t *testing.T) {
+	// 600-state dense bipartite component: every cut has far more than 16
+	// distinct crossing sources, so mapping must fail with a clear error
+	// rather than loop forever.
+	r := rand.New(rand.NewSource(5))
+	a := nfa.New()
+	var left, right []nfa.StateID
+	for i := 0; i < 300; i++ {
+		left = append(left, a.AddState(nfa.State{Class: bitvec.ClassOf('l'), Start: nfa.AllInput}))
+	}
+	for i := 0; i < 300; i++ {
+		right = append(right, a.AddState(nfa.State{Class: bitvec.ClassOf('r'), Report: true}))
+	}
+	for _, l := range left {
+		for j := 0; j < 30; j++ {
+			a.AddEdge(l, right[r.Intn(len(right))])
+			a.AddEdge(right[r.Intn(len(right))], l)
+		}
+	}
+	_, err := Map(a, spaceCfg())
+	if err == nil {
+		t.Fatal("dense bipartite component should exceed switch budgets")
+	}
+	if !strings.Contains(err.Error(), "budget") && !strings.Contains(err.Error(), "signals") {
+		t.Errorf("error should mention budgets: %v", err)
+	}
+}
+
+func TestMapMixedSizes(t *testing.T) {
+	// Big component + many small ones: small partitions backfill way holes.
+	n := chainNFA(2000)
+	small, err := regexc.CompileSet([]string{"alpha", "beta", "gamma", "delta"}, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Union(small)
+	pl := mustMap(t, n, spaceCfg())
+	st := pl.ComputeStats()
+	// Peel splitting + small-component backfill approach the packing bound.
+	wantParts := arch.CeilDiv(2000+19, arch.PartitionSTEs)
+	if st.Partitions < wantParts || st.Partitions > wantParts+2 {
+		t.Errorf("partitions = %d, want ≈%d", st.Partitions, wantParts)
+	}
+}
+
+func TestMapDeterminism(t *testing.T) {
+	n := chainNFA(1500)
+	p1 := mustMap(t, n, spaceCfg())
+	p2 := mustMap(t, n, spaceCfg())
+	if p1.NumPartitions() != p2.NumPartitions() {
+		t.Fatal("partition counts differ across runs")
+	}
+	for s := range p1.PartitionOf {
+		if p1.PartitionOf[s] != p2.PartitionOf[s] || p1.SlotOf[s] != p2.SlotOf[s] {
+			t.Fatal("same seed should give identical placement")
+		}
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	if _, err := Map(nfa.New(), Config{}); err == nil {
+		t.Error("nil design should error")
+	}
+	bad := nfa.New()
+	bad.AddState(nfa.State{}) // empty class, no start
+	if _, err := Map(bad, perfCfg()); err == nil {
+		t.Error("invalid NFA should error")
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	n, _ := regexc.CompileSet([]string{"hello"}, regexc.Options{})
+	pl := mustMap(t, n, perfCfg())
+	// Corrupt a slot.
+	pl.Partitions[0].Slots[0], pl.Partitions[0].Slots[1] = pl.Partitions[0].Slots[1], pl.Partitions[0].Slots[0]
+	if err := pl.Verify(); err == nil {
+		t.Error("Verify should catch slot corruption")
+	}
+}
+
+func TestVerifyCatchesMissingCrossEdge(t *testing.T) {
+	n := chainNFA(600)
+	pl := mustMap(t, n, spaceCfg())
+	if len(pl.Cross) == 0 {
+		t.Skip("no cross edges to remove")
+	}
+	pl.Cross = pl.Cross[1:]
+	if err := pl.Verify(); err == nil {
+		t.Error("Verify should catch an unprogrammed cross edge")
+	}
+}
+
+func TestChainedG4Disallowed(t *testing.T) {
+	// >64 partitions (16.4k+ states) in one component spans G4 groups.
+	n := chainNFA(17000)
+	cfg := spaceCfg()
+	cfg.AllowChainedG4 = false
+	if _, err := Map(n, cfg); err == nil {
+		t.Error("component spanning G4 groups should fail when chaining disabled")
+	}
+	cfg.AllowChainedG4 = true
+	pl := mustMap(t, n, cfg)
+	if pl.ComputeStats().ChainedEdges == 0 {
+		t.Error("expected chained edges for a 17000-state component")
+	}
+}
+
+func BenchmarkMap20kStates(b *testing.B) {
+	var pats []string
+	for i := 0; i < 500; i++ {
+		pats = append(pats, fmt.Sprintf("rule%03d[a-f]{8}tail%d", i, i%7))
+	}
+	n, err := regexc.CompileSet(pats, regexc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Design: arch.NewDesign(arch.PerfOpt), Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(n, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPlacementWriteDOT(t *testing.T) {
+	n := chainNFA(600)
+	pl := mustMap(t, n, spaceCfg())
+	var sb strings.Builder
+	if err := pl.WriteDOT(&sb, "chain"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "way 0", "p0 ", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package mapper
+
+import (
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/spaceopt"
+)
+
+// OptimizeLevel records how much state merging the space-optimized
+// compilation applied (see MapOptimized).
+type OptimizeLevel int
+
+const (
+	// FullMerge: prefix + suffix merging to fixpoint.
+	FullMerge OptimizeLevel = iota
+	// PrefixMerge: prefix-only merging.
+	PrefixMerge
+	// NoMerge: the baseline NFA.
+	NoMerge
+)
+
+func (l OptimizeLevel) String() string {
+	switch l {
+	case FullMerge:
+		return "full-merge"
+	case PrefixMerge:
+		return "prefix-merge"
+	default:
+		return "no-merge"
+	}
+}
+
+// MapOptimized performs the space-optimized (CA_S) compilation with the
+// compiler's back-off ladder: it tries the fully merged NFA first, then
+// prefix-only merging, then the unmerged NFA. Merging fuses connected
+// components and densifies them (§3.1), so heavily-merged automata can
+// exceed the interconnect's 16/8 signal budgets; the paper's own Table 1
+// shows the same back-off in effect — Levenshtein's and Hamming's
+// space-optimized rows are (nearly) identical to their baselines because
+// their dense structure leaves no mappable merge.
+//
+// For performance designs it maps the baseline NFA directly.
+func MapOptimized(n *nfa.NFA, cfg Config) (*Placement, OptimizeLevel, error) {
+	if cfg.Design == nil || cfg.Design.Kind == arch.PerfOpt {
+		pl, err := Map(n, cfg)
+		return pl, NoMerge, err
+	}
+	var lastErr error
+	for _, level := range []OptimizeLevel{FullMerge, PrefixMerge, NoMerge} {
+		candidate := n
+		switch level {
+		case FullMerge:
+			candidate = spaceopt.Optimize(n, spaceopt.Options{}).NFA
+		case PrefixMerge:
+			candidate = spaceopt.Optimize(n, spaceopt.Options{PrefixOnly: true}).NFA
+		}
+		pl, err := Map(candidate, cfg)
+		if err == nil {
+			return pl, level, nil
+		}
+		lastErr = err
+	}
+	return nil, NoMerge, lastErr
+}

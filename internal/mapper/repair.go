@@ -1,0 +1,358 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/nfa"
+)
+
+// budgetState tracks per-part switch-signal usage during budget checking
+// and repair: the distinct source states driving out of each part and the
+// distinct external sources arriving, split by switch level.
+type budgetState struct {
+	sub    *nfa.NFA
+	parts  [][]int32
+	partOf []int
+	inAdj  [][]int32 // state → in-neighbors
+	wayOf  []int     // part → virtual way
+	outG1  []map[int32]bool
+	outG4  []map[int32]bool
+	inG1   []map[int32]bool
+	inG4   []map[int32]bool
+}
+
+func newBudgetState(sub *nfa.NFA, parts [][]int32, order []int, ppw int) *budgetState {
+	k := len(parts)
+	b := &budgetState{sub: sub, parts: parts, partOf: make([]int, sub.NumStates()), wayOf: make([]int, k)}
+	for oi, pi := range order {
+		b.wayOf[pi] = oi / ppw
+	}
+	for pi, vs := range parts {
+		for _, v := range vs {
+			b.partOf[v] = pi
+		}
+	}
+	b.inAdj = make([][]int32, sub.NumStates())
+	for u := range sub.States {
+		for _, v := range sub.States[u].Out {
+			b.inAdj[v] = append(b.inAdj[v], int32(u))
+		}
+	}
+	b.recompute()
+	return b
+}
+
+func (b *budgetState) recompute() {
+	k := len(b.parts)
+	b.outG1 = make([]map[int32]bool, k)
+	b.outG4 = make([]map[int32]bool, k)
+	b.inG1 = make([]map[int32]bool, k)
+	b.inG4 = make([]map[int32]bool, k)
+	for i := 0; i < k; i++ {
+		b.outG1[i], b.outG4[i] = map[int32]bool{}, map[int32]bool{}
+		b.inG1[i], b.inG4[i] = map[int32]bool{}, map[int32]bool{}
+	}
+	for u := range b.sub.States {
+		for _, vv := range b.sub.States[u].Out {
+			v := int(vv)
+			pu, pv := b.partOf[u], b.partOf[v]
+			if pu == pv {
+				continue
+			}
+			if b.wayOf[pu] == b.wayOf[pv] {
+				b.outG1[pu][int32(u)] = true
+				b.inG1[pv][int32(u)] = true
+			} else {
+				b.outG4[pu][int32(u)] = true
+				b.inG4[pv][int32(u)] = true
+			}
+		}
+	}
+}
+
+// violation returns the first budget violation, or ok=true.
+func (b *budgetState) violation(g1Limit, g4Limit int) (part int, isOut bool, isG4 bool, ok bool) {
+	for i := range b.parts {
+		if len(b.outG1[i]) > g1Limit {
+			return i, true, false, false
+		}
+		if len(b.inG1[i]) > g1Limit {
+			return i, false, false, false
+		}
+		if len(b.outG4[i]) > g4Limit {
+			return i, true, true, false
+		}
+		if len(b.inG4[i]) > g4Limit {
+			return i, false, true, false
+		}
+	}
+	return 0, false, false, true
+}
+
+func (b *budgetState) err(g1Limit, g4Limit int) error {
+	for i := range b.parts {
+		if len(b.outG1[i]) > g1Limit || len(b.inG1[i]) > g1Limit {
+			return fmt.Errorf("partition %d of component: G1 signals out=%d in=%d exceed %d",
+				i, len(b.outG1[i]), len(b.inG1[i]), g1Limit)
+		}
+		if len(b.outG4[i]) > g4Limit || len(b.inG4[i]) > g4Limit {
+			return fmt.Errorf("partition %d of component: G4 signals out=%d in=%d exceed %d",
+				i, len(b.outG4[i]), len(b.inG4[i]), g4Limit)
+		}
+	}
+	return nil
+}
+
+// move relocates state v to part q, keeping parts/partOf consistent.
+func (b *budgetState) move(v int32, q int) {
+	p := b.partOf[v]
+	vs := b.parts[p]
+	for i, w := range vs {
+		if w == v {
+			b.parts[p] = append(vs[:i], vs[i+1:]...)
+			break
+		}
+	}
+	b.parts[q] = append(b.parts[q], v)
+	b.partOf[v] = q
+}
+
+// repairBudgets spreads crossing-signal sources across partitions when a
+// part exceeds its switch budgets — the situation prefix-merged rule sets
+// create, where many hub states (shared prefixes fanning out to rule
+// bodies in other partitions) land in one partition. Each repair move
+// relocates one violating source to the least-loaded partition that can
+// take it. Returns nil when all budgets hold.
+func repairBudgets(b *budgetState, g1Limit, g4Limit, maxMoves int) error {
+	for moves := 0; moves < maxMoves; moves++ {
+		part, isOut, isG4, ok := b.violation(g1Limit, g4Limit)
+		if ok {
+			return nil
+		}
+		var srcSet map[int32]bool
+		switch {
+		case isOut && isG4:
+			srcSet = b.outG4[part]
+		case isOut:
+			srcSet = b.outG1[part]
+		case isG4:
+			srcSet = b.inG4[part]
+		default:
+			srcSet = b.inG1[part]
+		}
+		// Candidate states to move: for out violations, the sources in
+		// this part; for in violations, the external sources (moving one
+		// into this part or its way localizes its signal).
+		var candidates []int32
+		for s := range srcSet {
+			candidates = append(candidates, s)
+		}
+		sort.Slice(candidates, func(a, c int) bool { return candidates[a] < candidates[c] })
+		moved := false
+		for _, s := range candidates {
+			if q := b.bestHome(s, part, isOut, g1Limit, g4Limit); q >= 0 {
+				b.move(s, q)
+				b.recompute()
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return b.err(g1Limit, g4Limit)
+		}
+	}
+	return b.err(g1Limit, g4Limit)
+}
+
+// bestHome finds a partition q that can absorb state s and relieve the
+// violating part: for out violations any other part with room and signal
+// slack; for in violations, prefer parts in the violating part's way (or
+// the part itself) so the arriving signal becomes G1/local.
+func (b *budgetState) bestHome(s int32, violating int, isOut bool, g1Limit, g4Limit int) int {
+	cur := b.partOf[s]
+	best, bestScore := -1, -1
+	for q := range b.parts {
+		if q == cur || len(b.parts[q]) >= arch.PartitionSTEs {
+			continue
+		}
+		// Headroom on the receiving side (conservative: the moved state
+		// may add one source signal of each kind).
+		if len(b.outG1[q]) >= g1Limit || len(b.outG4[q]) >= g4Limit {
+			continue
+		}
+		score := 0
+		if !isOut {
+			// Localize the incoming signal: same part > same way > other.
+			switch {
+			case q == violating:
+				score += 4
+			case b.wayOf[q] == b.wayOf[violating]:
+				score += 2
+			}
+		}
+		// Prefer parts holding many of s's neighbors (keeps cut small).
+		for _, v := range b.sub.States[s].Out {
+			if b.partOf[v] == q {
+				score++
+			}
+		}
+		// Prefer emptier parts.
+		score += (arch.PartitionSTEs - len(b.parts[q])) / 64
+		if score > bestScore {
+			best, bestScore = q, score
+		}
+	}
+	return best
+}
+
+// tightPack compacts the parts of one component toward full 256-slot
+// partitions: whole-part merges while two parts fit together, then state
+// spilling from the smallest part into the fullest non-full part (states
+// with the most neighbors in the target move first, keeping the cut
+// small). The paper's greedy packer achieves near-full partitions for
+// small components; this gives split components the same density. Budgets
+// are re-validated (and repaired) by the caller afterwards.
+func tightPack(b *budgetState) {
+	moveBudget := 8 * b.sub.NumStates()
+	for moveBudget > 0 {
+		// Whole-part merge: smallest two that fit together.
+		is := sortedBySize(b.parts)
+		merged := false
+		for x := 0; x < len(is) && !merged; x++ {
+			a := is[x]
+			if len(b.parts[a]) == 0 {
+				continue
+			}
+			for y := x + 1; y < len(is); y++ {
+				c := is[y]
+				if len(b.parts[c]) == 0 {
+					continue
+				}
+				if len(b.parts[a])+len(b.parts[c]) <= arch.PartitionSTEs {
+					for _, v := range append([]int32(nil), b.parts[a]...) {
+						b.move(v, c)
+						moveBudget--
+					}
+					merged = true
+					break
+				}
+			}
+		}
+		if merged {
+			continue
+		}
+		// Drain: spill the smallest drainable part along adjacency into
+		// parts with room. Partial drains still make progress (they enable
+		// whole-part merges on the next pass).
+		progress := false
+		for _, i := range sortedBySize(b.parts) {
+			if len(b.parts[i]) == 0 {
+				continue
+			}
+			for len(b.parts[i]) > 0 && moveBudget > 0 {
+				v := b.bestSpill(i)
+				q := b.bestSpillTarget(v, i)
+				if q < 0 {
+					break
+				}
+				b.move(v, q)
+				moveBudget--
+				progress = true
+			}
+			if len(b.parts[i]) == 0 {
+				break // one part eliminated; rescan for merges
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Drop emptied parts.
+	var kept [][]int32
+	for _, p := range b.parts {
+		if len(p) > 0 {
+			kept = append(kept, p)
+		}
+	}
+	b.parts = kept
+	for pi, vs := range b.parts {
+		for _, v := range vs {
+			b.partOf[v] = pi
+		}
+	}
+	b.recompute()
+}
+
+func sortedBySize(parts [][]int32) []int {
+	is := make([]int, len(parts))
+	for i := range is {
+		is[i] = i
+	}
+	sort.Slice(is, func(a, b int) bool {
+		if len(parts[is[a]]) != len(parts[is[b]]) {
+			return len(parts[is[a]]) < len(parts[is[b]])
+		}
+		return is[a] < is[b]
+	})
+	return is
+}
+
+// neighbors iterates v's out- and in-neighbors.
+func (b *budgetState) neighbors(v int32, fn func(w int32)) {
+	for _, w := range b.sub.States[v].Out {
+		fn(int32(w))
+	}
+	for _, w := range b.inAdj[v] {
+		fn(w)
+	}
+}
+
+// bestSpill picks the state of part p with the most neighbors outside p
+// (cheapest to move away).
+func (b *budgetState) bestSpill(p int) int32 {
+	best, bestScore := b.parts[p][0], -1<<30
+	for _, v := range b.parts[p] {
+		score := 0
+		b.neighbors(v, func(w int32) {
+			if b.partOf[w] == p {
+				score--
+			} else {
+				score++
+			}
+		})
+		if score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best
+}
+
+// bestSpillTarget picks a part with space that holds at least one of v's
+// neighbors — spilling only along edges keeps the cut (and hence the
+// switch-signal budgets) from exploding. A few slots stay free so the
+// budget-repair pass can still move states afterwards.
+func (b *budgetState) bestSpillTarget(v int32, exclude int) int {
+	const spillCap = arch.PartitionSTEs - 2
+	best, bestScore := -1, 0
+	for q := range b.parts {
+		if q == exclude || len(b.parts[q]) >= spillCap {
+			continue
+		}
+		score := 0
+		b.neighbors(v, func(w int32) {
+			if b.partOf[w] == q {
+				score++
+			}
+		})
+		if score == 0 {
+			continue // adjacency required
+		}
+		score = score*4 + len(b.parts[q])/32
+		if score > bestScore {
+			best, bestScore = q, score
+		}
+	}
+	return best
+}

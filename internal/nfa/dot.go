@@ -1,0 +1,58 @@
+package nfa
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the NFA in Graphviz DOT format for debugging and
+// documentation. Start states are drawn as diamonds (double border for
+// all-input), report states as double circles.
+func (n *NFA) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "nfa"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for i := range n.States {
+		s := &n.States[i]
+		shape := "circle"
+		switch {
+		case s.Report:
+			shape = "doublecircle"
+		case s.Start == StartOfData:
+			shape = "diamond"
+		case s.Start == AllInput:
+			shape = "Mdiamond"
+		}
+		label := fmt.Sprintf("%d\\n%s", i, escapeDOT(s.Class.String()))
+		if s.Report {
+			label += fmt.Sprintf("\\nR%d", s.ReportCode)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=%s,label=\"%s\"];\n", i, shape, label); err != nil {
+			return err
+		}
+	}
+	for i := range n.States {
+		for _, v := range n.States[i].Out {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", i, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func escapeDOT(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\':
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

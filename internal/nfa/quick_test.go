@@ -1,0 +1,155 @@
+package nfa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickNFA wraps a generated NFA for testing/quick.
+type quickNFA struct {
+	n     *NFA
+	input []byte
+}
+
+// Generate implements quick.Generator: a random valid NFA plus an input.
+func (quickNFA) Generate(r *rand.Rand, size int) reflect.Value {
+	n := randomNFA(r, 2+r.Intn(40))
+	in := randomInput(r, r.Intn(150))
+	return reflect.ValueOf(quickNFA{n: n, input: in})
+}
+
+// TestQuickUnionPreservesBothLanguages: the disjoint union of two NFAs
+// produces exactly the multiset union of their matches.
+func TestQuickUnionPreservesBothLanguages(t *testing.T) {
+	f := func(a, b quickNFA) bool {
+		in := a.input
+		ma := RunAll(a.n, in)
+		mb := RunAll(b.n, in)
+		u := a.n.Clone()
+		off := u.Union(b.n)
+		mu := RunAll(u, in)
+		if len(mu) != len(ma)+len(mb) {
+			return false
+		}
+		// Every original match appears (offset, code) with correct state
+		// mapping: a's states unchanged, b's offset by off.
+		type key struct {
+			off   int
+			code  int32
+			state StateID
+		}
+		seen := map[key]int{}
+		for _, m := range mu {
+			seen[key{m.Offset, m.Code, m.State}]++
+		}
+		for _, m := range ma {
+			if seen[key{m.Offset, m.Code, m.State}] == 0 {
+				return false
+			}
+			seen[key{m.Offset, m.Code, m.State}]--
+		}
+		for _, m := range mb {
+			if seen[key{m.Offset, m.Code, m.State + off}] == 0 {
+				return false
+			}
+			seen[key{m.Offset, m.Code, m.State + off}]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSimulatorDeterminism: the same NFA and input always produce the
+// same matches, and Reset fully restores initial state.
+func TestQuickSimulatorDeterminism(t *testing.T) {
+	f := func(q quickNFA) bool {
+		s := NewSimulator(q.n)
+		m1 := s.Run(q.input)
+		s.Reset()
+		m2 := s.Run(q.input)
+		if len(m1) != len(m2) {
+			return false
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickActiveCountBounded: the active set never exceeds the state
+// count, and match offsets are strictly within the input.
+func TestQuickActiveCountBounded(t *testing.T) {
+	f := func(q quickNFA) bool {
+		s := NewSimulator(q.n)
+		for i, b := range q.input {
+			ms := s.Step(b)
+			if s.ActiveCount() > q.n.NumStates() {
+				return false
+			}
+			for _, m := range ms {
+				if m.Offset != i {
+					return false
+				}
+				if !q.n.States[m.State].Report {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubgraphIsInduced: a Subgraph over a random subset contains
+// exactly the induced edges.
+func TestQuickSubgraphIsInduced(t *testing.T) {
+	f := func(q quickNFA, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var subset []StateID
+		inSet := map[StateID]bool{}
+		for i := range q.n.States {
+			if r.Intn(2) == 0 {
+				subset = append(subset, StateID(i))
+				inSet[StateID(i)] = true
+			}
+		}
+		sub, orig := q.n.Subgraph(subset)
+		if sub.NumStates() != len(subset) {
+			return false
+		}
+		// Count induced edges in the original.
+		want := 0
+		for _, u := range subset {
+			for _, v := range q.n.States[u].Out {
+				if inSet[v] {
+					want++
+				}
+			}
+		}
+		if sub.NumEdges() != want {
+			return false
+		}
+		// Classes preserved through orig mapping.
+		for i := range sub.States {
+			if sub.States[i].Class != q.n.States[orig[i]].Class {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package nfa
+
+// Match records one reporting event: state id's report code at a given
+// input offset (the index of the symbol whose consumption triggered the
+// report).
+type Match struct {
+	Offset int
+	Code   int32
+	State  StateID
+}
+
+// Simulator is the reference executor for a homogeneous NFA. It favors
+// clarity over speed and serves as ground truth for the mapped-machine and
+// baseline engines.
+type Simulator struct {
+	n *NFA
+	// enabled[i] — state i may match the next symbol.
+	enabled []bool
+	next    []bool
+	pos     int
+}
+
+// NewSimulator returns a simulator positioned at input offset 0 with
+// start-of-data and all-input states enabled.
+func NewSimulator(n *NFA) *Simulator {
+	s := &Simulator{
+		n:       n,
+		enabled: make([]bool, len(n.States)),
+		next:    make([]bool, len(n.States)),
+	}
+	s.Reset()
+	return s
+}
+
+// Reset rewinds the simulator to input offset 0.
+func (s *Simulator) Reset() {
+	s.pos = 0
+	for i := range s.enabled {
+		s.enabled[i] = s.n.States[i].Start != NoStart
+		s.next[i] = false
+	}
+}
+
+// Pos returns the offset of the next symbol to be consumed.
+func (s *Simulator) Pos() int { return s.pos }
+
+// ActiveCount returns the number of currently enabled states.
+func (s *Simulator) ActiveCount() int {
+	c := 0
+	for _, e := range s.enabled {
+		if e {
+			c++
+		}
+	}
+	return c
+}
+
+// Step consumes one symbol and returns the matches it produced (in state-ID
+// order).
+func (s *Simulator) Step(sym byte) []Match {
+	var out []Match
+	for i := range s.next {
+		s.next[i] = false
+	}
+	for i, en := range s.enabled {
+		if !en {
+			continue
+		}
+		st := &s.n.States[i]
+		if !st.Class.Has(sym) {
+			continue
+		}
+		if st.Report {
+			out = append(out, Match{Offset: s.pos, Code: st.ReportCode, State: StateID(i)})
+		}
+		for _, v := range st.Out {
+			s.next[v] = true
+		}
+	}
+	for i := range s.next {
+		if s.n.States[i].Start == AllInput {
+			s.next[i] = true
+		}
+	}
+	s.enabled, s.next = s.next, s.enabled
+	s.pos++
+	return out
+}
+
+// Run consumes the whole input from the current position and returns all
+// matches.
+func (s *Simulator) Run(input []byte) []Match {
+	var all []Match
+	for _, b := range input {
+		all = append(all, s.Step(b)...)
+	}
+	return all
+}
+
+// RunAll is a convenience that resets, runs input, and returns matches.
+func RunAll(n *NFA, input []byte) []Match {
+	s := NewSimulator(n)
+	return s.Run(input)
+}

@@ -1,0 +1,111 @@
+package partition
+
+import "math/rand"
+
+// coarseLevel links a graph to the finer graph it was contracted from.
+type coarseLevel struct {
+	g *Graph
+	// fineToCoarse maps each finer-level vertex to its coarse vertex.
+	fineToCoarse []int32
+}
+
+// coarsenOnce contracts g by heavy-edge matching: each unmatched vertex is
+// matched with the unmatched neighbor connected by the heaviest edge, and
+// matched pairs merge into one coarse vertex. Returns nil when contraction
+// stalls (matching shrinks the graph by <10%).
+func coarsenOnce(g *Graph, rng *rand.Rand, maxVW int64) *coarseLevel {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	matched := 0
+	for _, ui := range order {
+		u := int32(ui)
+		if match[u] != -1 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int32 = -1
+		for e := g.XAdj[u]; e < g.XAdj[u+1]; e++ {
+			v := g.Adj[e]
+			if match[v] != -1 || v == u {
+				continue
+			}
+			if int64(g.VW[u])+int64(g.VW[v]) > maxVW {
+				continue // avoid creating overweight coarse vertices
+			}
+			if g.AdjW[e] > bestW {
+				bestW, best = g.AdjW[e], v
+			}
+		}
+		if best != -1 {
+			match[u], match[best] = best, u
+			matched += 2
+		} else {
+			match[u] = u // matched with itself
+		}
+	}
+	coarseN := n - matched/2
+	if coarseN > n*9/10 {
+		return nil // not shrinking usefully
+	}
+	fineToCoarse := make([]int32, n)
+	next := int32(0)
+	for ui := 0; ui < n; ui++ {
+		u := int32(ui)
+		if match[u] >= u { // representative: self-matched or lower id of pair
+			fineToCoarse[u] = next
+			if match[u] != u {
+				fineToCoarse[match[u]] = next
+			}
+			next++
+		}
+	}
+	// Build coarse graph.
+	b := NewBuilder(int(next))
+	cvw := make([]int32, next)
+	for ui := 0; ui < n; ui++ {
+		cvw[fineToCoarse[ui]] += g.VW[ui]
+	}
+	for i, w := range cvw {
+		b.SetVertexWeight(int32(i), w)
+	}
+	for u := int32(0); int(u) < n; u++ {
+		cu := fineToCoarse[u]
+		for e := g.XAdj[u]; e < g.XAdj[u+1]; e++ {
+			v := g.Adj[e]
+			if u < v { // each undirected edge once
+				cv := fineToCoarse[v]
+				if cu != cv {
+					b.AddEdge(cu, cv, g.AdjW[e])
+				}
+			}
+		}
+	}
+	return &coarseLevel{g: b.Build(), fineToCoarse: fineToCoarse}
+}
+
+// coarsen builds the hierarchy of contracted graphs down to targetN
+// vertices. levels[0] contracts the input graph; the last level holds the
+// coarsest graph.
+func coarsen(g *Graph, targetN int, rng *rand.Rand) []*coarseLevel {
+	var levels []*coarseLevel
+	cur := g
+	// Cap coarse-vertex weight so initial bisection can still balance:
+	// no coarse vertex may exceed ~1/8 of total weight.
+	maxVW := cur.TotalVW() / 8
+	if maxVW < 1 {
+		maxVW = 1
+	}
+	for cur.NumVertices() > targetN {
+		lvl := coarsenOnce(cur, rng, maxVW)
+		if lvl == nil {
+			break
+		}
+		levels = append(levels, lvl)
+		cur = lvl.g
+	}
+	return levels
+}

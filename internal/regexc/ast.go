@@ -1,0 +1,96 @@
+// Package regexc compiles regular expressions to homogeneous NFAs via the
+// Glushkov (position) construction. Glushkov automata are naturally in ANML
+// form — every state corresponds to one position in the pattern and carries
+// that position's symbol class — which is exactly the STE representation the
+// Cache Automaton maps into SRAM arrays (paper §2.1). This plays the role
+// of the regex front-end used to produce the Regex-suite benchmarks.
+package regexc
+
+import (
+	"fmt"
+	"strings"
+
+	"cacheautomaton/internal/bitvec"
+)
+
+// Node is one node of the parsed regular-expression AST.
+type Node interface {
+	// writeTo renders a canonical pattern form (for diagnostics/tests).
+	writeTo(b *strings.Builder)
+}
+
+// EmptyNode matches the empty string.
+type EmptyNode struct{}
+
+// ClassNode matches any single symbol in Class. Pos is assigned during the
+// Glushkov numbering pass (0 until then).
+type ClassNode struct {
+	Class bitvec.Class
+	Pos   int
+}
+
+// ConcatNode matches Subs in sequence.
+type ConcatNode struct{ Subs []Node }
+
+// AltNode matches any one of Subs.
+type AltNode struct{ Subs []Node }
+
+// StarNode matches zero or more repetitions of Sub.
+type StarNode struct{ Sub Node }
+
+// PlusNode matches one or more repetitions of Sub.
+type PlusNode struct{ Sub Node }
+
+// QuestNode matches zero or one occurrence of Sub.
+type QuestNode struct{ Sub Node }
+
+func (EmptyNode) writeTo(b *strings.Builder) { b.WriteString("()") }
+
+func (n *ClassNode) writeTo(b *strings.Builder) { b.WriteString(n.Class.String()) }
+
+func (n *ConcatNode) writeTo(b *strings.Builder) {
+	for _, s := range n.Subs {
+		s.writeTo(b)
+	}
+}
+
+func (n *AltNode) writeTo(b *strings.Builder) {
+	b.WriteByte('(')
+	for i, s := range n.Subs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		s.writeTo(b)
+	}
+	b.WriteByte(')')
+}
+
+func (n *StarNode) writeTo(b *strings.Builder)  { writeQuant(b, n.Sub, '*') }
+func (n *PlusNode) writeTo(b *strings.Builder)  { writeQuant(b, n.Sub, '+') }
+func (n *QuestNode) writeTo(b *strings.Builder) { writeQuant(b, n.Sub, '?') }
+
+func writeQuant(b *strings.Builder, sub Node, q byte) {
+	b.WriteByte('(')
+	sub.writeTo(b)
+	b.WriteByte(')')
+	b.WriteByte(q)
+}
+
+// Render returns a canonical textual form of the AST (heavily
+// parenthesized; used in error messages and tests).
+func Render(n Node) string {
+	var b strings.Builder
+	n.writeTo(&b)
+	return b.String()
+}
+
+// ParseError describes a syntax error with the byte offset in the pattern.
+type ParseError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("regexc: parse error at offset %d in %q: %s", e.Pos, e.Pattern, e.Msg)
+}

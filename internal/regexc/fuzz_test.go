@@ -1,0 +1,54 @@
+package regexc
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/nfa"
+)
+
+// FuzzParse drives the parser + Glushkov construction with arbitrary
+// pattern bytes: no panics, and every accepted pattern must compile to a
+// valid NFA that survives a short simulation.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"abc", "a|b", "(a+b)*c", "[a-z]{2,4}", `\x41[\d]`, "^x.y$",
+		"[[:alpha:]]+", "a{3,}", "((((a))))", "[^\\n]*q", "|||", "[]a]",
+		"a**", "(?", "{3}", `\`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		p, err := Parse(pattern, Options{MaxRepeat: 64})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Render must not panic either.
+		_ = Render(p.Root)
+		a, err := CompileParsed(p, 1)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("pattern %q compiled to invalid NFA: %v", pattern, err)
+		}
+		// The automaton must be executable.
+		nfa.RunAll(a, []byte("abcxyz0123abcxyz"))
+	})
+}
+
+// FuzzParseClass drives the standalone symbol-set parser (the ANML
+// symbol-set attribute path).
+func FuzzParseClass(f *testing.F) {
+	for _, seed := range []string{"[a-z]", "a", `\x00`, "*", "[^x]", "[]"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cl, err := ParseClass(s)
+		if err != nil {
+			return
+		}
+		if cl.IsEmpty() {
+			t.Fatalf("ParseClass(%q) accepted an empty class", s)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package regexc
+
+import (
+	"strings"
+	"testing"
+
+	"cacheautomaton/internal/bitvec"
+)
+
+func mustParse(t *testing.T, pat string, opts Options) *Parsed {
+	t.Helper()
+	p, err := Parse(pat, opts)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", pat, err)
+	}
+	return p
+}
+
+func TestParseBasicForms(t *testing.T) {
+	cases := []struct {
+		pat  string
+		want string // canonical Render
+	}{
+		{"abc", "[a][b][c]"},
+		{"a|b", "([a]|[b])"},
+		{"a*", "([a])*"},
+		{"a+", "([a])+"},
+		{"a?", "([a])?"},
+		{"(ab)*", "([a][b])*"},
+		{"a|b|c", "([a]|[b]|[c])"},
+		{"[abc]", "[a-c]"},
+		{"[a-c]", "[a-c]"},
+		{"a{3}", "[a][a][a]"},
+		{"a{1,3}", "[a]([a])?([a])?"},
+		{"a{0,2}", "([a])?([a])?"},
+		{"a{2,}", "[a][a]([a])*"},
+		{"a{0,}", "([a])*"},
+		{"", "()"},
+		{"()", "()"},
+		{"a{x}", "[a][{][x][}]"}, // invalid count → literal braces
+	}
+	for _, tc := range cases {
+		p := mustParse(t, tc.pat, Options{})
+		if got := Render(p.Root); got != tc.want {
+			t.Errorf("Render(Parse(%q)) = %q, want %q", tc.pat, got, tc.want)
+		}
+	}
+}
+
+func TestParseAnchor(t *testing.T) {
+	p := mustParse(t, "^ab", Options{})
+	if !p.Anchored {
+		t.Error("^ab should be anchored")
+	}
+	p = mustParse(t, "ab", Options{})
+	if p.Anchored {
+		t.Error("ab should not be anchored")
+	}
+	if _, err := Parse("a^b", Options{}); err == nil {
+		t.Error("mid-pattern '^' should be rejected")
+	}
+	if _, err := Parse("ab$", Options{}); err == nil {
+		t.Error("'$' should be rejected with a clear error")
+	} else if !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("unexpected error for '$': %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"(", ")", "a)", "(a", "*", "+a", "?",
+		"[", "[a", "[]", "[z-a]", `\`, `\q`, `\x1`, `\xgg`,
+		"a{3,2}", "a{999}",
+	}
+	for _, pat := range bad {
+		if _, err := Parse(pat, Options{MaxRepeat: 64}); err == nil {
+			t.Errorf("Parse(%q) should fail", pat)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("abc(", Options{})
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T", err)
+	}
+	if pe.Pos != 4 {
+		t.Errorf("error position = %d, want 4", pe.Pos)
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	cases := []struct {
+		pat    string
+		has    []byte
+		hasNot []byte
+		count  int // -1 to skip
+	}{
+		{"[abc]", []byte{'a', 'b', 'c'}, []byte{'d'}, 3},
+		{"[^abc]", []byte{'d', 0, 255}, []byte{'a', 'b', 'c'}, 253},
+		{"[a-z0-9]", []byte{'a', 'z', '5'}, []byte{'A'}, 36},
+		{"[]a]", []byte{']', 'a'}, []byte{'b'}, 2}, // ']' first is literal
+		{"[^]]", []byte{'a'}, []byte{']'}, 255},    // negated literal ']'
+		{"[-a]", []byte{'-', 'a'}, []byte{'b'}, 2}, // leading '-' literal
+		{"[a-]", []byte{'-', 'a'}, []byte{'b'}, 2}, // trailing '-' literal
+		{`[\]]`, []byte{']'}, []byte{'a'}, 1},
+		{`[\d]`, []byte{'0', '9'}, []byte{'a'}, 10},
+		{`[\x00-\x1f]`, []byte{0, 31}, []byte{32}, 32},
+		{`[\n\t]`, []byte{'\n', '\t'}, []byte{' '}, 2},
+		{`[a\-z]`, []byte{'a', '-', 'z'}, []byte{'b'}, 3},
+	}
+	for _, tc := range cases {
+		p := mustParse(t, tc.pat, Options{})
+		cn, ok := p.Root.(*ClassNode)
+		if !ok {
+			t.Errorf("Parse(%q) root is %T, want *ClassNode", tc.pat, p.Root)
+			continue
+		}
+		for _, b := range tc.has {
+			if !cn.Class.Has(b) {
+				t.Errorf("%q should match %q", tc.pat, b)
+			}
+		}
+		for _, b := range tc.hasNot {
+			if cn.Class.Has(b) {
+				t.Errorf("%q should not match %q", tc.pat, b)
+			}
+		}
+		if tc.count >= 0 && cn.Class.Count() != tc.count {
+			t.Errorf("%q class size = %d, want %d", tc.pat, cn.Class.Count(), tc.count)
+		}
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	cases := map[string]byte{
+		`\n`:   '\n',
+		`\t`:   '\t',
+		`\r`:   '\r',
+		`\0`:   0,
+		`\x41`: 'A',
+		`\xff`: 0xff,
+		`\.`:   '.',
+		`\\`:   '\\',
+		`\[`:   '[',
+		`\*`:   '*',
+		`\{`:   '{',
+	}
+	for pat, want := range cases {
+		p := mustParse(t, pat, Options{})
+		cn := p.Root.(*ClassNode)
+		if cn.Class.Count() != 1 || !cn.Class.Has(want) {
+			t.Errorf("Parse(%q) = %v, want single %q", pat, cn.Class, want)
+		}
+	}
+	// Predefined classes.
+	for pat, wantCount := range map[string]int{`\d`: 10, `\D`: 246, `\w`: 63, `\W`: 193, `\s`: 6, `\S`: 250} {
+		p := mustParse(t, pat, Options{})
+		cn := p.Root.(*ClassNode)
+		if cn.Class.Count() != wantCount {
+			t.Errorf("Parse(%q) class size = %d, want %d", pat, cn.Class.Count(), wantCount)
+		}
+	}
+}
+
+func TestParseDot(t *testing.T) {
+	p := mustParse(t, ".", Options{})
+	if p.Root.(*ClassNode).Class != bitvec.AllSymbols() {
+		t.Error("default '.' should match all 256 symbols")
+	}
+	p = mustParse(t, ".", Options{DotExcludesNewline: true})
+	cl := p.Root.(*ClassNode).Class
+	if cl.Has('\n') || cl.Count() != 255 {
+		t.Error("DotExcludesNewline '.' wrong")
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	p := mustParse(t, "aB", Options{CaseInsensitive: true})
+	cn := p.Root.(*ConcatNode)
+	c0 := cn.Subs[0].(*ClassNode).Class
+	c1 := cn.Subs[1].(*ClassNode).Class
+	if !c0.Has('a') || !c0.Has('A') || c0.Count() != 2 {
+		t.Errorf("fold 'a' wrong: %v", c0)
+	}
+	if !c1.Has('b') || !c1.Has('B') || c1.Count() != 2 {
+		t.Errorf("fold 'B' wrong: %v", c1)
+	}
+	p = mustParse(t, "[a-c]", Options{CaseInsensitive: true})
+	cl := p.Root.(*ClassNode).Class
+	if !cl.Has('B') || cl.Count() != 6 {
+		t.Errorf("fold class wrong: %v", cl)
+	}
+}
+
+func TestMaxRepeatLimit(t *testing.T) {
+	if _, err := Parse("a{100}", Options{MaxRepeat: 50}); err == nil {
+		t.Error("repeat over limit should fail")
+	}
+	if _, err := Parse("a{100}", Options{MaxRepeat: 100}); err != nil {
+		t.Errorf("repeat at limit should parse: %v", err)
+	}
+	// Default limit is 256.
+	if _, err := Parse("a{256}", Options{}); err != nil {
+		t.Errorf("a{256} should parse with default limit: %v", err)
+	}
+	if _, err := Parse("a{257}", Options{}); err == nil {
+		t.Error("a{257} should exceed default limit")
+	}
+}
+
+func TestPOSIXClasses(t *testing.T) {
+	cases := []struct {
+		pat   string
+		has   []byte
+		not   []byte
+		count int
+	}{
+		{"[[:digit:]]", []byte{'0', '9'}, []byte{'a'}, 10},
+		{"[[:alpha:]]", []byte{'a', 'Z'}, []byte{'0'}, 52},
+		{"[[:alnum:]]", []byte{'a', 'Z', '5'}, []byte{'_'}, 62},
+		{"[[:xdigit:]]", []byte{'f', 'F', '0'}, []byte{'g'}, 22},
+		{"[[:space:]]", []byte{' ', '\t'}, []byte{'x'}, 6},
+		{"[[:upper:][:digit:]]", []byte{'A', '7'}, []byte{'a'}, 36},
+		{"[^[:print:]]", []byte{0, 200}, []byte{'a', ' '}, 161},
+		{"[[:punct:]]", []byte{'!', '~', '@'}, []byte{'a', ' '}, 32},
+	}
+	for _, tc := range cases {
+		p := mustParse(t, tc.pat, Options{})
+		cn, ok := p.Root.(*ClassNode)
+		if !ok {
+			t.Fatalf("%q: not a class node", tc.pat)
+		}
+		for _, b := range tc.has {
+			if !cn.Class.Has(b) {
+				t.Errorf("%q should include %q", tc.pat, b)
+			}
+		}
+		for _, b := range tc.not {
+			if cn.Class.Has(b) {
+				t.Errorf("%q should exclude %q", tc.pat, b)
+			}
+		}
+		if tc.count > 0 && cn.Class.Count() != tc.count {
+			t.Errorf("%q size = %d, want %d", tc.pat, cn.Class.Count(), tc.count)
+		}
+	}
+	for _, bad := range []string{"[[:nope:]]", "[[:digit]", "[[:"} {
+		if _, err := Parse(bad, Options{}); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}

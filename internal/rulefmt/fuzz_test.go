@@ -1,0 +1,38 @@
+package rulefmt
+
+import "testing"
+
+// FuzzParseSnortRules: arbitrary rule text must never panic, and accepted
+// rule sets must compile to valid NFAs.
+func FuzzParseSnortRules(f *testing.F) {
+	f.Add(sampleRules)
+	f.Add(`alert tcp any any (content:"x"; sid:1;)`)
+	f.Add(`( ; ; )`)
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, err := ParseSnortRules(text)
+		if err != nil {
+			return
+		}
+		if n, err := CompileSnort(rules); err == nil {
+			if err := n.Validate(); err != nil {
+				t.Fatalf("compiled invalid NFA: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzParseClamAVSignature: arbitrary signature text must never panic.
+func FuzzParseClamAVSignature(f *testing.F) {
+	f.Add("Name:4d5a??90{3}50")
+	f.Add("??")
+	f.Add("4d{")
+	f.Fuzz(func(t *testing.T, sig string) {
+		a, _, err := ParseClamAVSignature(sig, 1)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("accepted signature %q produced invalid NFA: %v", sig, err)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package spaceopt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/nfa"
+)
+
+// quickCase generates random homogeneous NFAs with deliberately mergeable
+// structure (small alphabet, repeated classes, shared codes).
+type quickCase struct {
+	n     *nfa.NFA
+	input []byte
+}
+
+func (quickCase) Generate(r *rand.Rand, size int) reflect.Value {
+	n := nfa.New()
+	states := 3 + r.Intn(50)
+	for i := 0; i < states; i++ {
+		st := nfa.State{Class: bitvec.ClassOf(byte('a' + r.Intn(3)))}
+		switch r.Intn(6) {
+		case 0:
+			st.Start = nfa.AllInput
+		case 1:
+			st.Start = nfa.StartOfData
+		}
+		if r.Intn(4) == 0 {
+			st.Report = true
+			st.ReportCode = int32(r.Intn(3))
+		}
+		n.AddState(st)
+	}
+	if len(n.StartStates()) == 0 {
+		n.States[0].Start = nfa.AllInput
+	}
+	for e := 0; e < states*2; e++ {
+		n.AddEdge(nfa.StateID(r.Intn(states)), nfa.StateID(r.Intn(states)))
+	}
+	in := make([]byte, r.Intn(120))
+	for i := range in {
+		in[i] = byte('a' + r.Intn(4))
+	}
+	return reflect.ValueOf(quickCase{n: n, input: in})
+}
+
+func eventSet(ms []nfa.Match) map[[2]int64]bool {
+	out := map[[2]int64]bool{}
+	for _, m := range ms {
+		out[[2]int64{int64(m.Offset), int64(m.Code)}] = true
+	}
+	return out
+}
+
+// TestQuickMergePreservesEvents: for arbitrary NFAs, optimization preserves
+// the (offset, report-code) event set exactly.
+func TestQuickMergePreservesEvents(t *testing.T) {
+	f := func(c quickCase) bool {
+		res := Optimize(c.n, Options{})
+		if res.NFA.Validate() != nil {
+			return false
+		}
+		want := eventSet(nfa.RunAll(c.n, c.input))
+		got := eventSet(nfa.RunAll(res.NFA, c.input))
+		if len(want) != len(got) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMergeMonotone: optimization never increases states or edges,
+// and the remap is a surjection onto the merged states.
+func TestQuickMergeMonotone(t *testing.T) {
+	f := func(c quickCase) bool {
+		res := Optimize(c.n, Options{})
+		if res.NFA.NumStates() > c.n.NumStates() {
+			return false
+		}
+		if res.NFA.NumEdges() > c.n.NumEdges() {
+			return false
+		}
+		hit := make([]bool, res.NFA.NumStates())
+		for _, v := range res.Remap {
+			if int(v) >= len(hit) || v < 0 {
+				return false
+			}
+			hit[v] = true
+		}
+		for _, h := range hit {
+			if !h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrefixOnlyWeaker: prefix-only merging never merges more than
+// full optimization.
+func TestQuickPrefixOnlyWeaker(t *testing.T) {
+	f := func(c quickCase) bool {
+		full := Optimize(c.n, Options{})
+		pref := Optimize(c.n, Options{PrefixOnly: true})
+		return full.NFA.NumStates() <= pref.NFA.NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

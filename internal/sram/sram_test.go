@@ -1,0 +1,246 @@
+package sram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/bitvec"
+)
+
+func TestArrayGeometryValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 8}, {128, 0}, {128, 7}, {-1, 8}} {
+		if _, err := NewArray(bad[0], bad[1]); err == nil {
+			t.Errorf("NewArray(%d,%d) should fail", bad[0], bad[1])
+		}
+	}
+	if _, err := NewArray(128, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnRoundTrip(t *testing.T) {
+	a, _ := NewArray(128, 8)
+	r := rand.New(rand.NewSource(5))
+	classes := make([]bitvec.Class, 128)
+	for col := range classes {
+		var c bitvec.Class
+		for k := 0; k < 1+r.Intn(20); k++ {
+			c.Add(byte(r.Intn(256)))
+		}
+		classes[col] = c
+		if err := a.WriteColumn(col, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for col, want := range classes {
+		if got := a.ReadColumn(col); got != want {
+			t.Fatalf("column %d round trip failed", col)
+		}
+	}
+	if err := a.WriteColumn(128, bitvec.Class{}); err == nil {
+		t.Error("out-of-range column write should fail")
+	}
+}
+
+func TestReadRowEqualsStoredBits(t *testing.T) {
+	a, _ := NewArray(128, 8)
+	r := rand.New(rand.NewSource(6))
+	for col := 0; col < 128; col++ {
+		var c bitvec.Class
+		for k := 0; k < r.Intn(10); k++ {
+			c.Add(byte(r.Intn(256)))
+		}
+		a.WriteColumn(col, c)
+	}
+	for trial := 0; trial < 50; trial++ {
+		sym := byte(r.Intn(256))
+		rowCyc, _, _ := a.ReadRow(sym, true)
+		rowBase, _, _ := a.ReadRow(sym, false)
+		for col := 0; col < 128; col++ {
+			want := a.ReadColumn(col).Has(sym)
+			if rowCyc[col] != want || rowBase[col] != want {
+				t.Fatalf("sym %d col %d: cycled=%v baseline=%v want %v",
+					sym, col, rowCyc[col], rowBase[col], want)
+			}
+		}
+	}
+}
+
+// TestFigure4ReadSequence checks the §2.6 optimized read: one PCH + one
+// RWL followed by 8 sequential SAE/SEL pulses, ~2× faster than the
+// baseline of 8 full SRAM cycles.
+func TestFigure4ReadSequence(t *testing.T) {
+	a, _ := NewArray(128, 8)
+	_, events, tOpt := a.ReadRow('x', true)
+	var pch, rwl, sae, sel int
+	lastSEL := -1
+	for _, e := range events {
+		switch e.Signal {
+		case "PCH":
+			pch++
+		case "RWL":
+			rwl++
+		case "SAE":
+			sae++
+		case "SEL":
+			sel++
+			if e.Value != lastSEL+1 {
+				t.Errorf("SEL values should increment: got %d after %d", e.Value, lastSEL)
+			}
+			lastSEL = e.Value
+		}
+	}
+	if pch != 1 || rwl != 1 {
+		t.Errorf("optimized read: PCH=%d RWL=%d, want 1 each (parallel precharge)", pch, rwl)
+	}
+	if sae != 8 || sel != 8 {
+		t.Errorf("optimized read: SAE=%d SEL=%d, want 8 each", sae, sel)
+	}
+	_, eventsB, tBase := a.ReadRow('x', false)
+	pchB := 0
+	for _, e := range eventsB {
+		if e.Signal == "PCH" {
+			pchB++
+		}
+	}
+	if pchB != 8 {
+		t.Errorf("baseline read: PCH=%d, want 8 (one per access)", pchB)
+	}
+	if tBase != 8*arch.SRAMCyclePS {
+		t.Errorf("baseline latency = %v, want %v", tBase, 8*arch.SRAMCyclePS)
+	}
+	if ratio := tBase / tOpt; ratio < 2 {
+		t.Errorf("SA cycling speedup = %.2fx, paper: 2-3x", ratio)
+	}
+}
+
+// TestPartitionMatchLatencyMatchesArchModel: the bit-level model's
+// state-match latency equals the arch timing model's for both designs and
+// both read modes (Table 3 / Table 4).
+func TestPartitionMatchLatencyMatchesArchModel(t *testing.T) {
+	for _, kind := range []arch.DesignKind{arch.PerfOpt, arch.SpaceOpt} {
+		p := NewPartitionArrays(kind)
+		d := arch.NewDesign(kind)
+		_, tOpt := p.MatchVector('a', true)
+		want := d.StateMatchPS(arch.TimingOptions{})
+		if math.Abs(tOpt-want) > 1.5 {
+			t.Errorf("%v: bit-level match latency %.0fps, arch model %.0fps", kind, tOpt, want)
+		}
+		_, tBase := p.MatchVector('a', false)
+		wantBase := d.StateMatchPS(arch.TimingOptions{NoSACycling: true})
+		if math.Abs(tBase-wantBase) > 1.5 {
+			t.Errorf("%v: baseline latency %.0fps, arch model %.0fps", kind, tBase, wantBase)
+		}
+	}
+}
+
+func TestPartitionMatchVector(t *testing.T) {
+	p := NewPartitionArrays(arch.SpaceOpt)
+	r := rand.New(rand.NewSource(7))
+	classes := make([]bitvec.Class, arch.PartitionSTEs)
+	for slot := range classes {
+		var c bitvec.Class
+		for k := 0; k < 1+r.Intn(8); k++ {
+			c.Add(byte(r.Intn(256)))
+		}
+		classes[slot] = c
+		if err := p.WriteSTE(slot, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.WriteSTE(256, bitvec.Class{}); err == nil {
+		t.Error("slot 256 should be rejected")
+	}
+	for trial := 0; trial < 60; trial++ {
+		sym := byte(r.Intn(256))
+		v, _ := p.MatchVector(sym, true)
+		for slot := 0; slot < arch.PartitionSTEs; slot++ {
+			if v.Get(slot) != classes[slot].Has(sym) {
+				t.Fatalf("sym %d slot %d: match bit %v, want %v",
+					sym, slot, v.Get(slot), classes[slot].Has(sym))
+			}
+		}
+	}
+}
+
+func BenchmarkMatchVector(b *testing.B) {
+	p := NewPartitionArrays(arch.PerfOpt)
+	r := rand.New(rand.NewSource(1))
+	for slot := 0; slot < arch.PartitionSTEs; slot++ {
+		var c bitvec.Class
+		for k := 0; k < 4; k++ {
+			c.Add(byte(r.Intn(256)))
+		}
+		p.WriteSTE(slot, c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MatchVector(byte(i), true)
+	}
+}
+
+func TestRepairableArrayRemapsDeadColumns(t *testing.T) {
+	r, err := NewRepairableArray(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := make([]bitvec.Class, 128)
+	rng := rand.New(rand.NewSource(3))
+	// Mark two dead columns BEFORE configuration (repair happens at
+	// config time), then load and verify reads.
+	if err := r.MarkDeadColumn(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkDeadColumn(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkDeadColumn(5); err == nil {
+		t.Error("third dead column should exceed the 2 spares")
+	}
+	for col := range classes {
+		var c bitvec.Class
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			c.Add(byte(rng.Intn(256)))
+		}
+		classes[col] = c
+		if err := r.WriteColumn(col, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for col, want := range classes {
+		if got := r.ReadColumn(col); got != want {
+			t.Fatalf("column %d (remapped) read wrong", col)
+		}
+	}
+	// Row reads present logical columns in logical order.
+	for trial := 0; trial < 30; trial++ {
+		sym := byte(rng.Intn(256))
+		row, _ := r.ReadRow(sym, true)
+		if len(row) != 128 {
+			t.Fatalf("row length %d", len(row))
+		}
+		for col := 0; col < 128; col++ {
+			if row[col] != classes[col].Has(sym) {
+				t.Fatalf("sym %d col %d wrong through remap", sym, col)
+			}
+		}
+	}
+	// Row spare budget.
+	for i := 0; i < RedundantRows; i++ {
+		if err := r.MarkDeadRow(byte(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.MarkDeadRow(99); err == nil {
+		t.Error("fifth dead row should exceed the 4 spares")
+	}
+	if err := r.MarkDeadColumn(-1); err == nil {
+		t.Error("negative column should error")
+	}
+	if err := r.WriteColumn(128, bitvec.Class{}); err == nil {
+		t.Error("out-of-range logical column should error")
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"cacheautomaton/internal/nfa"
+)
+
+// refEditSearch returns the offsets t where some substring of text ending
+// at t has edit distance ≤ d to pattern (standard free-start DP).
+func refEditSearch(pattern, text string, d int) map[int]bool {
+	m, n := len(pattern), len(text)
+	prev := make([]int, n+1) // dp[0][j] = 0: match may start anywhere
+	cur := make([]int, n+1)
+	out := map[int]bool{}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if pattern[i-1] == text[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost // substitution / match
+			if v := prev[j] + 1; v < best {
+				best = v // deletion (pattern char unmatched)
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v // insertion (extra text char)
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	for j := 1; j <= n; j++ {
+		if prev[j] <= d {
+			out[j-1] = true
+		}
+	}
+	return out
+}
+
+// refHammingSearch returns offsets t where text[t-m+1..t] mismatches
+// pattern in ≤ d positions.
+func refHammingSearch(pattern, text string, d int) map[int]bool {
+	m := len(pattern)
+	out := map[int]bool{}
+	for t := m - 1; t < len(text); t++ {
+		mis := 0
+		for i := 0; i < m; i++ {
+			if text[t-m+1+i] != pattern[i] {
+				mis++
+			}
+		}
+		if mis <= d {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+func offsets(ms []nfa.Match) map[int]bool {
+	out := map[int]bool{}
+	for _, m := range ms {
+		out[m.Offset] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLevenshteinNFAAgainstDP(t *testing.T) {
+	cases := []struct {
+		pattern string
+		d       int
+	}{
+		{"hello", 1}, {"hello", 2}, {"abc", 1}, {"abcabc", 2}, {"xyzw", 3},
+	}
+	r := rand.New(rand.NewSource(21))
+	for _, tc := range cases {
+		a := LevenshteinNFA(tc.pattern, tc.d, 7)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%q/%d: %v", tc.pattern, tc.d, err)
+		}
+		if got, want := a.NumStates(), LevenshteinStates(len(tc.pattern), tc.d); got != want {
+			t.Errorf("%q/%d: states = %d, want %d", tc.pattern, tc.d, got, want)
+		}
+		for trial := 0; trial < 40; trial++ {
+			n := 1 + r.Intn(30)
+			text := make([]byte, n)
+			for i := range text {
+				// Alphabet biased toward the pattern's characters so edits
+				// actually occur.
+				if r.Intn(2) == 0 {
+					text[i] = tc.pattern[r.Intn(len(tc.pattern))]
+				} else {
+					text[i] = byte('a' + r.Intn(26))
+				}
+			}
+			want := refEditSearch(tc.pattern, string(text), tc.d)
+			got := offsets(nfa.RunAll(a, text))
+			if !sameSet(got, want) {
+				t.Fatalf("%q/%d on %q: got %v want %v", tc.pattern, tc.d, text, got, want)
+			}
+		}
+	}
+}
+
+func TestLevenshteinExactWhenZeroBudgetRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("d ≥ m should panic")
+		}
+	}()
+	LevenshteinNFA("ab", 2, 0)
+}
+
+func TestHammingNFAAgainstReference(t *testing.T) {
+	cases := []struct {
+		pattern string
+		d       int
+	}{
+		{"hello", 1}, {"abcd", 2}, {"abca", 1}, {"qqqq", 3},
+	}
+	r := rand.New(rand.NewSource(22))
+	for _, tc := range cases {
+		a := HammingNFA(tc.pattern, tc.d, 3)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%q/%d: %v", tc.pattern, tc.d, err)
+		}
+		if got, want := a.NumStates(), HammingStates(len(tc.pattern), tc.d); got != want {
+			t.Errorf("%q/%d: states = %d, want %d", tc.pattern, tc.d, got, want)
+		}
+		for trial := 0; trial < 40; trial++ {
+			n := 1 + r.Intn(40)
+			text := make([]byte, n)
+			for i := range text {
+				if r.Intn(2) == 0 {
+					text[i] = tc.pattern[r.Intn(len(tc.pattern))]
+				} else {
+					text[i] = byte('a' + r.Intn(26))
+				}
+			}
+			want := refHammingSearch(tc.pattern, string(text), tc.d)
+			got := offsets(nfa.RunAll(a, text))
+			if !sameSet(got, want) {
+				t.Fatalf("%q/%d on %q: got %v want %v", tc.pattern, tc.d, text, got, want)
+			}
+		}
+	}
+}
+
+func TestFuzzyStateCountsMatchTable1(t *testing.T) {
+	// Table 1: Levenshtein 24 CCs × ≈116 states = 2784; Hamming 93 CCs of
+	// ≈122. The chosen (m,d) land on the published sizes.
+	if got := LevenshteinStates(16, 3); got != 115 {
+		t.Errorf("Levenshtein(16,3) = %d states, want 115 (≈116 per CC)", got)
+	}
+	if got := HammingStates(24, 2); got != 120 {
+		t.Errorf("Hamming(24,2) = %d states, want 120 (≈122 per CC)", got)
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/nfa"
+)
+
+// HammingNFA builds the homogeneous automaton reporting every input
+// position where the preceding len(pattern) symbols differ from pattern in
+// at most maxDist positions (paper Table 1 row 15: fixed-length
+// mismatch-tolerant matching).
+//
+// Logical states (i,e) — i symbols consumed, e mismatches. Homogeneous
+// STEs: M(i,e) labeled pattern[i-1] (position i matched) and X(i,e)
+// labeled ¬pattern[i-1] (position i mismatched, arriving with e ≥ 1).
+func HammingNFA(pattern string, maxDist int, code int32) *nfa.NFA {
+	m := len(pattern)
+	d := maxDist
+	if m == 0 || d < 0 || d >= m {
+		panic("workload: Hamming needs 0 ≤ maxDist < len(pattern) and a non-empty pattern")
+	}
+	a := nfa.New()
+	match := make([][]nfa.StateID, m+1) // match[i][e], i ≥ 1, e ≤ d
+	miss := make([][]nfa.StateID, m+1)  // miss[i][e], i ≥ 1, 1 ≤ e ≤ d
+	for i := 0; i <= m; i++ {
+		match[i] = make([]nfa.StateID, d+1)
+		miss[i] = make([]nfa.StateID, d+1)
+		for e := 0; e <= d; e++ {
+			match[i][e], miss[i][e] = nfa.None, nfa.None
+		}
+	}
+	for e := 0; e <= d; e++ {
+		for i := 1; i <= m; i++ {
+			st := nfa.State{Class: bitvec.ClassOf(pattern[i-1])}
+			if i == m {
+				st.Report, st.ReportCode = true, code
+			}
+			match[i][e] = a.AddState(st)
+			if e >= 1 {
+				sx := nfa.State{Class: bitvec.ClassOf(pattern[i-1]).Complement()}
+				if i == m {
+					sx.Report, sx.ReportCode = true, code
+				}
+				miss[i][e] = a.AddState(sx)
+			}
+		}
+	}
+	// From logical (i,e): consume pattern[i] → match[i+1][e]; consume
+	// anything else → miss[i+1][e+1] (if e < d).
+	wire := func(src nfa.StateID, i, e int) {
+		if i+1 > m {
+			return
+		}
+		a.AddEdge(src, match[i+1][e])
+		if e+1 <= d {
+			a.AddEdge(src, miss[i+1][e+1])
+		}
+	}
+	for e := 0; e <= d; e++ {
+		for i := 1; i <= m; i++ {
+			wire(match[i][e], i, e)
+			if e >= 1 {
+				wire(miss[i][e], i, e)
+			}
+		}
+	}
+	// Starts: transitions out of (0,0).
+	a.States[match[1][0]].Start = nfa.AllInput
+	if d >= 1 {
+		a.States[miss[1][1]].Start = nfa.AllInput
+	}
+	return a
+}
+
+// HammingStates predicts the state count of HammingNFA: m×(d+1) match
+// states + m×d mismatch states.
+func HammingStates(m, d int) int { return m*(d+1) + m*d }

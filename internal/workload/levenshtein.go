@@ -1,0 +1,112 @@
+// Package workload synthesizes the 20 ANMLZoo/Regex benchmarks of the
+// paper's Table 1. The original benchmark NFAs are not redistributable, so
+// each generator reproduces the published *shape* of its benchmark — state
+// count, connected-component count and size distribution, symbol-class
+// breadth, and activity profile — from a seed, together with a matching
+// input-stream generator. Levenshtein and Hamming are exact textbook
+// constructions; the regex-based suites are generated rule sets compiled
+// through the Glushkov front-end; Entity Resolution, Brill, SPM, Fermi,
+// RandomForest and Protomata follow the structure described in their
+// source publications.
+package workload
+
+import (
+	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/nfa"
+)
+
+// LevenshteinNFA builds the homogeneous automaton that reports every input
+// position where some substring ends whose edit distance (insertions,
+// deletions, substitutions) to pattern is ≤ maxDist. This is the
+// ANMLZoo-style Levenshtein engine (paper Table 1 row 14; [34]-adjacent
+// fuzzy matching).
+//
+// Construction: the classic Levenshtein NFA has logical states (i,e) —
+// i pattern characters consumed with e errors — and an ε edge for deletion.
+// The homogeneous form allocates one STE per *incoming transition class*:
+// an exact STE E(i,e) labeled pattern[i-1], and an any STE A(i,e) labeled Σ
+// covering substitution/insertion arrivals. ε-deletion is folded in by
+// closure: logical (i,e) subsumes (i+j, e+j).
+func LevenshteinNFA(pattern string, maxDist int, code int32) *nfa.NFA {
+	m := len(pattern)
+	d := maxDist
+	if m == 0 || d < 0 || d >= m {
+		panic("workload: Levenshtein needs 0 ≤ maxDist < len(pattern) and a non-empty pattern")
+	}
+	a := nfa.New()
+	exact := make([][]nfa.StateID, m+1) // exact[i][e], i ≥ 1
+	anyst := make([][]nfa.StateID, m+1) // anyst[i][e], e ≥ 1
+	for i := 0; i <= m; i++ {
+		exact[i] = make([]nfa.StateID, d+1)
+		anyst[i] = make([]nfa.StateID, d+1)
+		for e := 0; e <= d; e++ {
+			exact[i][e], anyst[i][e] = nfa.None, nfa.None
+		}
+	}
+	all := bitvec.AllSymbols()
+	// accepts reports when a logical state's ε-closure reaches (m, ≤d):
+	// m-i ≤ d-e.
+	accepts := func(i, e int) bool { return m-i <= d-e }
+	for e := 0; e <= d; e++ {
+		for i := 1; i <= m; i++ {
+			st := nfa.State{Class: bitvec.ClassOf(pattern[i-1])}
+			if accepts(i, e) {
+				st.Report, st.ReportCode = true, code
+			}
+			exact[i][e] = a.AddState(st)
+		}
+	}
+	for e := 1; e <= d; e++ {
+		for i := 0; i <= m; i++ {
+			st := nfa.State{Class: all}
+			if accepts(i, e) {
+				st.Report, st.ReportCode = true, code
+			}
+			anyst[i][e] = a.AddState(st)
+		}
+	}
+	// successors returns the STEs representing transitions out of the
+	// ε-closure of logical state (i,e).
+	successors := func(i, e int) []nfa.StateID {
+		var out []nfa.StateID
+		for j := 0; i+j <= m && e+j <= d; j++ {
+			ci, ce := i+j, e+j
+			if ci+1 <= m { // exact match of pattern[ci]
+				out = append(out, exact[ci+1][ce])
+			}
+			if ce+1 <= d {
+				out = append(out, anyst[ci][ce+1]) // insertion
+				if ci+1 <= m {
+					out = append(out, anyst[ci+1][ce+1]) // substitution
+				}
+			}
+		}
+		return out
+	}
+	// Wire each STE (which lands in logical state (i,e)) to the
+	// successors of that logical state.
+	for e := 0; e <= d; e++ {
+		for i := 1; i <= m; i++ {
+			for _, v := range successors(i, e) {
+				a.AddEdge(exact[i][e], v)
+			}
+		}
+	}
+	for e := 1; e <= d; e++ {
+		for i := 0; i <= m; i++ {
+			for _, v := range successors(i, e) {
+				a.AddEdge(anyst[i][e], v)
+			}
+		}
+	}
+	// Start: every transition out of closure of (0,0) is an all-input
+	// start (streaming fuzzy search matches at any offset).
+	for _, v := range successors(0, 0) {
+		a.States[v].Start = nfa.AllInput
+	}
+	return a
+}
+
+// LevenshteinStates predicts the state count of LevenshteinNFA:
+// m×(d+1) exact states + (m+1)×d any states.
+func LevenshteinStates(m, d int) int { return m*(d+1) + (m+1)*d }

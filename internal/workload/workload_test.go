@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cacheautomaton/internal/nfa"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != 20 {
+		t.Fatalf("registry has %d benchmarks, want 20", len(All()))
+	}
+	names := Names()
+	want := []string{"Dotstar03", "Dotstar06", "Dotstar09", "Ranges05", "Ranges1",
+		"ExactMatch", "Bro217", "TCP", "Snort", "Brill", "ClamAV", "Dotstar",
+		"EntityResolution", "Levenshtein", "Hamming", "Fermi", "SPM",
+		"RandomForest", "PowerEN", "Protomata"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("benchmark %d = %q, want %q", i, names[i], n)
+		}
+	}
+	if ByName("Snort") == nil || ByName("nope") != nil {
+		t.Error("ByName lookup broken")
+	}
+	for _, s := range All() {
+		if s.Description == "" {
+			t.Errorf("%s: missing description", s.Name)
+		}
+		if s.Paper.States == 0 || s.Paper.SStates == 0 {
+			t.Errorf("%s: missing paper row", s.Name)
+		}
+	}
+}
+
+func TestAllBenchmarksBuildSmall(t *testing.T) {
+	for _, s := range All() {
+		n, err := s.Build(42, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if n.NumStates() == 0 {
+			t.Fatalf("%s: empty NFA", s.Name)
+		}
+		// Deterministic in seed.
+		n2, _ := s.Build(42, 0.05)
+		if n2.NumStates() != n.NumStates() || n2.NumEdges() != n.NumEdges() {
+			t.Errorf("%s: non-deterministic build", s.Name)
+		}
+		n3, _ := s.Build(43, 0.05)
+		if n3.NumStates() == n.NumStates() && n3.NumEdges() == n.NumEdges() && s.Name != "RandomForest" && s.Name != "Levenshtein" && s.Name != "Hamming" {
+			// (fixed-shape benchmarks legitimately keep counts across seeds)
+			_ = n3
+		}
+	}
+}
+
+func TestInputsDeterministicAndPlanted(t *testing.T) {
+	for _, s := range All() {
+		in1 := s.Input(7, 8192)
+		in2 := s.Input(7, 8192)
+		if len(in1) != 8192 {
+			t.Fatalf("%s: input length %d", s.Name, len(in1))
+		}
+		for i := range in1 {
+			if in1[i] != in2[i] {
+				t.Fatalf("%s: input not deterministic at %d", s.Name, i)
+			}
+		}
+		in3 := s.Input(8, 8192)
+		same := 0
+		for i := range in3 {
+			if in1[i] == in3[i] {
+				same++
+			}
+		}
+		if same == len(in1) {
+			t.Errorf("%s: different seeds give identical input", s.Name)
+		}
+	}
+}
+
+func TestBenchmarksProduceMatches(t *testing.T) {
+	// Each benchmark's input generator should actually exercise its rules:
+	// some matches on a modest stream.
+	for _, s := range All() {
+		n, err := s.Build(1, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := s.Input(1, 1<<15)
+		ms := nfa.RunAll(n, in)
+		if len(ms) == 0 {
+			t.Errorf("%s: no matches on 32KB of generated input", s.Name)
+		}
+	}
+}
+
+// TestFullScaleShapesMatchTable1 compares full-scale structural stats with
+// the published Table 1 (CA_P columns). Building 100k-state NFAs takes a
+// few seconds; skipped with -short.
+func TestFullScaleShapesMatchTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale build skipped in -short mode")
+	}
+	for _, s := range All() {
+		n, err := s.Build(1, 1.0)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		st := n.ComputeStats()
+		within := func(name string, got, want, tolFrac float64) {
+			if want == 0 {
+				return
+			}
+			if math.Abs(got-want)/want > tolFrac {
+				t.Errorf("%s: %s = %.0f, paper %.0f (>±%.0f%%)",
+					s.Name, name, got, want, tolFrac*100)
+			}
+		}
+		within("states", float64(st.States), float64(s.Paper.States), 0.20)
+		within("CCs", float64(st.ConnectedComponents), float64(s.Paper.CCs), 0.15)
+		within("largest CC", float64(st.LargestCC), float64(s.Paper.LargestCC), 0.30)
+	}
+}
