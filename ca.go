@@ -21,6 +21,9 @@ package cacheautomaton
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
+	"time"
 
 	"cacheautomaton/internal/anml"
 	"cacheautomaton/internal/arch"
@@ -29,6 +32,7 @@ import (
 	"cacheautomaton/internal/nfa"
 	"cacheautomaton/internal/regexc"
 	"cacheautomaton/internal/rulefmt"
+	"cacheautomaton/internal/telemetry"
 	"cacheautomaton/internal/workload"
 )
 
@@ -74,6 +78,30 @@ type Options struct {
 	// (merging is what makes CA_S space-optimized, so leave this false
 	// unless you need state-to-pattern attribution).
 	KeepPerPatternStates bool
+	// RunObserver, when non-nil, receives run telemetry from every machine
+	// this automaton creates (Run, Count, and Streams). The hook is
+	// nil-checked on the symbol hot path, so leaving it nil costs one
+	// branch per cycle and no allocation.
+	RunObserver RunObserver
+}
+
+// RunObserver is the run-telemetry hook: implementations receive per-cycle
+// activity, report events, output-buffer interrupts, and end-of-run
+// summaries. internal/telemetry's MachineCollector (as used by carun's
+// -metrics-addr flag) satisfies it; external implementations only need
+// these four methods.
+type RunObserver interface {
+	// ObserveCycle reports one simulated cycle: the enabled-state count,
+	// the number of partitions with at least one enabled state, and the
+	// active G-Switch-1/-4 source-signal counts.
+	ObserveCycle(activeStates, activePartitions, g1, g4 int64)
+	// ObserveMatches reports the match count of a reporting cycle.
+	ObserveMatches(n int64)
+	// ObserveOverflow reports one output-buffer interrupt.
+	ObserveOverflow()
+	// ObserveRun reports a completed Run: symbols processed, host
+	// wall-clock seconds, and the output-buffer high-water mark.
+	ObserveRun(symbols int64, seconds float64, outputBufferPeak int64)
 }
 
 // Match is one report event.
@@ -109,38 +137,49 @@ type Automaton struct {
 	nfa       *nfa.NFA
 	placement *mapper.Placement
 	machine   *machine.Machine
+	report    *telemetry.CompileReport
+	observer  RunObserver
+	// countMachine is the cached non-collecting machine behind Count.
+	countMachine *machine.Machine
 }
 
 // CompileRegex compiles a rule set (one pattern per entry; matches report
 // the pattern index) and maps it onto the selected design.
 func CompileRegex(patterns []string, opts Options) (*Automaton, error) {
+	tr := telemetry.NewTrace("compile-regex")
 	n, err := regexc.CompileSet(patterns, regexc.Options{
 		CaseInsensitive:    opts.CaseInsensitive,
 		DotExcludesNewline: opts.DotExcludesNewline,
 		MaxRepeat:          opts.MaxRepeat,
+		Trace:              tr,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return fromNFA(n, opts)
+	return fromNFA(n, opts, tr)
 }
 
 // CompileANML reads an ANML automata network (the Automata Processor's
 // XML interchange format) and maps it.
 func CompileANML(r io.Reader, opts Options) (*Automaton, error) {
+	tr := telemetry.NewTrace("compile-anml")
+	sp := tr.StartPhase("anml.read")
 	net, err := anml.Read(r)
 	if err != nil {
 		return nil, err
 	}
-	return fromNFA(net.NFA, opts)
+	sp.SetAttr("states", int64(net.NFA.NumStates()))
+	sp.End()
+	return fromNFA(net.NFA, opts, tr)
 }
 
-func fromNFA(n *nfa.NFA, opts Options) (*Automaton, error) {
+func fromNFA(n *nfa.NFA, opts Options, tr *telemetry.Trace) (*Automaton, error) {
 	design := arch.NewDesign(opts.Design.kind())
 	cfg := mapper.Config{
 		Design:         design,
 		Seed:           opts.Seed,
 		AllowChainedG4: opts.Design == Space,
+		Trace:          tr,
 	}
 	var pl *mapper.Placement
 	var err error
@@ -153,11 +192,100 @@ func fromNFA(n *nfa.NFA, opts Options) (*Automaton, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
-	m, err := machine.New(pl, machine.Options{CollectMatches: true})
+	sb := tr.StartPhase("machine.build")
+	m, err := machine.New(pl, machine.Options{CollectMatches: true, Observer: opts.RunObserver})
 	if err != nil {
 		return nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
-	return &Automaton{design: design, nfa: pl.NFA, placement: pl, machine: m}, nil
+	sb.SetAttr("partitions", int64(pl.NumPartitions()))
+	sb.End()
+	return &Automaton{
+		design:    design,
+		nfa:       pl.NFA,
+		placement: pl,
+		machine:   m,
+		report:    tr.Report(),
+		observer:  opts.RunObserver,
+	}, nil
+}
+
+// CompilePhase is one timed phase of the compile pipeline.
+type CompilePhase struct {
+	// Name identifies the phase ("regexc.parse", "map.large",
+	// "backoff.full-merge", "machine.build", …).
+	Name string
+	// Duration is the phase's wall time.
+	Duration time.Duration
+	// Stats carries phase counters: state counts in/out, partition counts,
+	// split retries, budget-repair moves, back-off outcomes.
+	Stats map[string]int64
+}
+
+// CompileReport is the phase breakdown of the compilation that produced an
+// Automaton — the compiler's pipeline made visible: regex parse, Glushkov
+// construction, connected-component packing, k-way splitting with retries,
+// budget repair, the CA_S back-off ladder, and machine construction.
+type CompileReport struct {
+	// Name is the entry point ("compile-regex", "compile-anml").
+	Name string
+	// Total is the end-to-end compile wall time.
+	Total time.Duration
+	// Phases lists the recorded phases in execution order.
+	Phases []CompilePhase
+}
+
+// String renders the report as an aligned per-phase breakdown.
+func (r *CompileReport) String() string {
+	if r == nil {
+		return "(no compile report)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %9.3fms total\n", r.Name, float64(r.Total)/1e6)
+	for _, p := range r.Phases {
+		keys := make([]string, 0, len(p.Stats))
+		for k := range p.Stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var stats strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&stats, " %s=%d", k, p.Stats[k])
+		}
+		fmt.Fprintf(&b, "  %-28s %9.3fms%s\n", p.Name, float64(p.Duration)/1e6, stats.String())
+	}
+	return b.String()
+}
+
+// CompileReport returns the phase breakdown recorded while this automaton
+// was compiled. It is always available; recording costs a few small
+// allocations per compile.
+func (a *Automaton) CompileReport() *CompileReport {
+	if a.report == nil {
+		return nil
+	}
+	out := &CompileReport{Name: a.report.Name, Total: a.report.Total}
+	for _, p := range a.report.Phases {
+		cp := CompilePhase{Name: p.Name, Duration: p.Duration, Stats: make(map[string]int64, len(p.Attrs))}
+		for _, at := range p.Attrs {
+			cp.Stats[at.Key] = at.Value
+		}
+		out.Phases = append(out.Phases, cp)
+	}
+	return out
+}
+
+// statsFrom converts a machine result into the paper's modeled metrics.
+func (a *Automaton) statsFrom(res *machine.Result) *Stats {
+	act := res.Activity.AvgActivity()
+	freqGHz := a.design.OperatingFrequencyGHz(arch.TimingOptions{})
+	return &Stats{
+		Cycles:            res.Activity.Cycles,
+		Matches:           res.MatchCount,
+		AvgActiveStates:   res.Activity.AvgActiveStates(),
+		EnergyPJPerSymbol: a.design.SymbolEnergyPJ(act),
+		AvgPowerW:         a.design.PowerW(act),
+		ModeledSeconds:    float64(res.Activity.Cycles) / (freqGHz * 1e9),
+	}
 }
 
 // Run resets the automaton, processes input, and returns the matches with
@@ -169,37 +297,22 @@ func (a *Automaton) Run(input []byte) ([]Match, *Stats, error) {
 	for i, m := range res.Matches {
 		matches[i] = Match{Offset: m.Offset, Pattern: int(m.Code)}
 	}
-	act := res.Activity.AvgActivity()
-	freqGHz := a.design.OperatingFrequencyGHz(arch.TimingOptions{})
-	st := &Stats{
-		Cycles:            res.Activity.Cycles,
-		Matches:           res.MatchCount,
-		AvgActiveStates:   res.Activity.AvgActiveStates(),
-		EnergyPJPerSymbol: a.design.SymbolEnergyPJ(act),
-		AvgPowerW:         a.design.PowerW(act),
-		ModeledSeconds:    float64(res.Activity.Cycles) / (freqGHz * 1e9),
-	}
-	return matches, st, nil
+	return matches, a.statsFrom(res), nil
 }
 
 // Count processes input without collecting match records (for long
-// streams), returning only statistics.
+// streams), returning only statistics. The non-collecting machine is built
+// once and reused across calls.
 func (a *Automaton) Count(input []byte) (*Stats, error) {
-	m, err := machine.New(a.placement, machine.Options{})
-	if err != nil {
-		return nil, err
+	if a.countMachine == nil {
+		m, err := machine.New(a.placement, machine.Options{Observer: a.observer})
+		if err != nil {
+			return nil, fmt.Errorf("cacheautomaton: %w", err)
+		}
+		a.countMachine = m
 	}
-	res := m.Run(input)
-	act := res.Activity.AvgActivity()
-	freqGHz := a.design.OperatingFrequencyGHz(arch.TimingOptions{})
-	return &Stats{
-		Cycles:            res.Activity.Cycles,
-		Matches:           res.MatchCount,
-		AvgActiveStates:   res.Activity.AvgActiveStates(),
-		EnergyPJPerSymbol: a.design.SymbolEnergyPJ(act),
-		AvgPowerW:         a.design.PowerW(act),
-		ModeledSeconds:    float64(res.Activity.Cycles) / (freqGHz * 1e9),
-	}, nil
+	a.countMachine.Reset()
+	return a.statsFrom(a.countMachine.Run(input)), nil
 }
 
 // States returns the mapped NFA's state count (after CA_S merging).
@@ -237,6 +350,8 @@ func (a *Automaton) WriteDOT(w io.Writer, name string) error {
 // Levenshtein workload of the paper's Table 1, exposed as a library
 // feature; matches report the pattern index.
 func CompileFuzzy(patterns []string, maxDist int, opts Options) (*Automaton, error) {
+	tr := telemetry.NewTrace("compile-fuzzy")
+	sp := tr.StartPhase("fuzzy.build")
 	n := nfa.New()
 	for i, p := range patterns {
 		if len(p) == 0 || maxDist < 0 || maxDist >= len(p) {
@@ -247,7 +362,10 @@ func CompileFuzzy(patterns []string, maxDist int, opts Options) (*Automaton, err
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	return fromNFA(n, opts)
+	sp.SetAttr("patterns", int64(len(patterns)))
+	sp.SetAttr("states", int64(n.NumStates()))
+	sp.End()
+	return fromNFA(n, opts, tr)
 }
 
 // Stream is a stateful scanner over a continuous input: feed chunks as
@@ -258,13 +376,11 @@ func CompileFuzzy(patterns []string, maxDist int, opts Options) (*Automaton, err
 type Stream struct {
 	a *Automaton
 	m *machine.Machine
-	// delivered counts matches already returned by Feed.
-	delivered int
 }
 
 // Stream opens an independent scanner positioned at offset 0.
 func (a *Automaton) Stream() (*Stream, error) {
-	m, err := machine.New(a.placement, machine.Options{CollectMatches: true})
+	m, err := machine.New(a.placement, machine.Options{CollectMatches: true, Observer: a.observer})
 	if err != nil {
 		return nil, err
 	}
@@ -272,11 +388,12 @@ func (a *Automaton) Stream() (*Stream, error) {
 }
 
 // Feed consumes the next chunk and returns the matches it produced
-// (offsets are absolute within the whole stream).
+// (offsets are absolute within the whole stream). Delivered matches are
+// drained from the underlying machine, so a long-lived stream retains only
+// the matches of the chunk in flight, not every match ever seen.
 func (s *Stream) Feed(chunk []byte) []Match {
-	res := s.m.Run(chunk)
-	fresh := res.Matches[s.delivered:]
-	s.delivered = len(res.Matches)
+	s.m.Run(chunk)
+	fresh := s.m.DrainMatches()
 	out := make([]Match, 0, len(fresh))
 	for _, m := range fresh {
 		out = append(out, Match{Offset: m.Offset, Pattern: int(m.Code)})
@@ -337,6 +454,8 @@ func (a *Automaton) ReplicationFactor(cacheBudgetMB float64) int {
 // sid options) into an automaton whose matches report each rule's sid as
 // the Pattern field.
 func CompileSnortRules(text string, opts Options) (*Automaton, error) {
+	tr := telemetry.NewTrace("compile-snort")
+	sp := tr.StartPhase("snort.parse+compile")
 	rules, err := rulefmt.ParseSnortRules(text)
 	if err != nil {
 		return nil, err
@@ -345,18 +464,26 @@ func CompileSnortRules(text string, opts Options) (*Automaton, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromNFA(n, opts)
+	sp.SetAttr("rules", int64(len(rules)))
+	sp.SetAttr("states", int64(n.NumStates()))
+	sp.End()
+	return fromNFA(n, opts, tr)
 }
 
 // CompileClamAVDatabase compiles a ClamAV-style hex-signature database
 // (one "Name:hexsig" per line; ?? wildcards and {n} skips supported).
 // Matches report the signature's index into the returned name list.
 func CompileClamAVDatabase(text string, opts Options) (*Automaton, []string, error) {
+	tr := telemetry.NewTrace("compile-clamav")
+	sp := tr.StartPhase("clamav.parse+compile")
 	n, names, err := rulefmt.CompileClamAV(text)
 	if err != nil {
 		return nil, nil, err
 	}
-	a, err := fromNFA(n, opts)
+	sp.SetAttr("signatures", int64(len(names)))
+	sp.SetAttr("states", int64(n.NumStates()))
+	sp.End()
+	a, err := fromNFA(n, opts, tr)
 	if err != nil {
 		return nil, nil, err
 	}

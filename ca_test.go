@@ -270,3 +270,151 @@ func TestCompileClamAVFacade(t *testing.T) {
 		t.Fatalf("matches = %v, want both signatures", ms)
 	}
 }
+
+func TestStreamFeedBoundedRetention(t *testing.T) {
+	a, err := CompileRegex([]string{"a"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte("a"), 50)
+	for i := 0; i < 20; i++ {
+		if got := s.Feed(chunk); len(got) != len(chunk) {
+			t.Fatalf("feed %d delivered %d matches, want %d", i, len(got), len(chunk))
+		}
+		// Regression: delivered matches must be drained from the machine,
+		// not retained for the lifetime of the stream.
+		if kept := len(s.m.Run(nil).Matches); kept != 0 {
+			t.Fatalf("feed %d: stream machine retains %d delivered matches", i, kept)
+		}
+	}
+	if s.Pos() != 20*50 {
+		t.Errorf("Pos = %d", s.Pos())
+	}
+}
+
+func TestCountReusesMachine(t *testing.T) {
+	a, err := CompileRegex([]string{"needle"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("a needle in a haystack")
+	st1, err := a.Count(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.countMachine
+	if m == nil {
+		t.Fatal("Count did not cache its machine")
+	}
+	st2, err := a.Count(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.countMachine != m {
+		t.Error("Count rebuilt the machine on the second call")
+	}
+	if st1.Matches != 1 || st2.Matches != st1.Matches || st2.Cycles != st1.Cycles {
+		t.Errorf("cached Count diverged: %+v vs %+v", st1, st2)
+	}
+	// Count and Run must agree.
+	_, rst, err := a.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Matches != st1.Matches || rst.AvgActiveStates != st1.AvgActiveStates {
+		t.Errorf("Count = %+v disagrees with Run = %+v", st1, rst)
+	}
+}
+
+func TestCompileReport(t *testing.T) {
+	a, err := CompileRegex([]string{"cat", "dog.*food"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.CompileReport()
+	if r == nil || r.Name != "compile-regex" {
+		t.Fatalf("report = %+v", r)
+	}
+	byName := map[string]CompilePhase{}
+	for _, p := range r.Phases {
+		byName[p.Name] = p
+	}
+	for _, want := range []string{"regexc.parse", "regexc.glushkov", "map.components", "map.pack", "map.cross", "machine.build"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("report missing phase %q (have %v)", want, r.Phases)
+		}
+	}
+	if got := byName["regexc.parse"].Stats["patterns"]; got != 2 {
+		t.Errorf("patterns = %d, want 2", got)
+	}
+	if got := byName["regexc.glushkov"].Stats["states"]; got != int64(a.States()) {
+		t.Errorf("glushkov states = %d, want %d", got, a.States())
+	}
+	if got := byName["machine.build"].Stats["partitions"]; got != int64(a.Partitions()) {
+		t.Errorf("machine.build partitions = %d, want %d", got, a.Partitions())
+	}
+	out := r.String()
+	if !strings.Contains(out, "compile-regex") || !strings.Contains(out, "regexc.parse") {
+		t.Errorf("formatted report:\n%s", out)
+	}
+	// The CA_S back-off ladder shows up in space-design reports.
+	as, err := CompileRegex([]string{"cat", "category"}, Options{Design: Space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range as.CompileReport().Phases {
+		if strings.HasPrefix(p.Name, "backoff.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("space-design report has no backoff phases: %+v", as.CompileReport().Phases)
+	}
+}
+
+// countingObserver verifies the RunObserver wiring end to end.
+type countingObserver struct {
+	cycles, matches, runs int64
+}
+
+func (o *countingObserver) ObserveCycle(states, parts, g1, g4 int64) { o.cycles++ }
+func (o *countingObserver) ObserveMatches(n int64)                   { o.matches += n }
+func (o *countingObserver) ObserveOverflow()                         {}
+func (o *countingObserver) ObserveRun(symbols int64, seconds float64, peak int64) {
+	o.runs++
+}
+
+func TestRunObserverWiring(t *testing.T) {
+	obs := &countingObserver{}
+	a, err := CompileRegex([]string{"cat"}, Options{RunObserver: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("the cat sat")
+	if _, _, err := a.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	if obs.cycles != int64(len(in)) || obs.matches != 1 || obs.runs != 1 {
+		t.Errorf("observer saw cycles=%d matches=%d runs=%d", obs.cycles, obs.matches, obs.runs)
+	}
+	// Count and Stream machines inherit the observer.
+	if _, err := a.Count(in); err != nil {
+		t.Fatal(err)
+	}
+	if obs.runs != 2 {
+		t.Errorf("Count did not report to the observer (runs=%d)", obs.runs)
+	}
+	s, err := a.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Feed(in)
+	if obs.runs != 3 {
+		t.Errorf("Stream did not report to the observer (runs=%d)", obs.runs)
+	}
+}

@@ -7,10 +7,18 @@
 //	cabench [-scale 1.0] [-size 1048576] [-seed 1] [-bench Snort,Brill]
 //	        [-exp all|summary|table1|table2|table3|table4|table5|
 //	              figure7|figure8|figure9|figure10|case-er]
+//	        [-metrics-addr :8080] [-trace-compile]
 //
 // The paper's runs use 10 MB inputs and full-size rule sets (-scale 1
 // -size 10485760); the trends are stable at much smaller settings, which
 // run in seconds.
+//
+// With -metrics-addr, a telemetry endpoint serves /metrics (Prometheus
+// text), /debug/vars and /debug/pprof/ while the experiments run — the
+// pprof profile endpoint is the intended way to find compiler and
+// simulator hot paths under paper-sized load. With -trace-compile, each
+// (benchmark, design) compilation prints its phase breakdown to stderr as
+// it completes.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"strings"
 
 	"cacheautomaton/internal/experiments"
+	"cacheautomaton/internal/telemetry"
 )
 
 func main() {
@@ -28,11 +37,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default all 20)")
 	exp := flag.String("exp", "all", "experiment to run: all, summary, table1-5, figure7-10, case-er, replication")
+	traceCompile := flag.Bool("trace-compile", false, "print each benchmark's compile phase breakdown to stderr")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, InputBytes: *size, Seed: *seed}
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *metricsAddr != "" {
+		cfg.Observer = telemetry.NewMachineCollector(nil)
+		srv, err := telemetry.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+	}
+	if *traceCompile {
+		cfg.TraceSink = func(name string, r *telemetry.CompileReport) {
+			fmt.Fprint(os.Stderr, r.String())
+		}
 	}
 	r := experiments.NewRunner(cfg)
 

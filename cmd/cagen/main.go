@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"cacheautomaton/internal/anml"
+	"cacheautomaton/internal/telemetry"
 	"cacheautomaton/internal/workload"
 )
 
@@ -26,6 +27,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write the input stream to this file")
 	size := flag.Int("size", 1<<20, "trace size in bytes")
 	list := flag.Bool("list", false, "list available benchmarks")
+	timings := flag.Bool("timings", false, "print generation phase timings to stderr")
 	flag.Parse()
 
 	if *list {
@@ -45,11 +47,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cagen: nothing to do (pass -anml and/or -trace)")
 		os.Exit(2)
 	}
+	var tr *telemetry.Trace
+	if *timings {
+		tr = telemetry.NewTrace("cagen/" + spec.Name)
+	}
 	if *anmlOut != "" {
+		sb := tr.StartPhase("build-nfa")
 		n, err := spec.Build(*seed, *scale)
 		if err != nil {
 			fatal(err)
 		}
+		sb.SetAttr("states", int64(n.NumStates()))
+		sb.End()
+		sw := tr.StartPhase("write-anml")
 		f, err := os.Create(*anmlOut)
 		if err != nil {
 			fatal(err)
@@ -60,14 +70,22 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+		sw.End()
 		st := n.ComputeStats()
 		fmt.Printf("wrote %s: %d states, %d CCs\n", *anmlOut, st.States, st.ConnectedComponents)
 	}
 	if *traceOut != "" {
-		if err := os.WriteFile(*traceOut, spec.Input(*seed, *size), 0o644); err != nil {
+		sg := tr.StartPhase("generate-trace")
+		input := spec.Input(*seed, *size)
+		sg.SetAttr("bytes", int64(len(input)))
+		sg.End()
+		if err := os.WriteFile(*traceOut, input, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s: %d bytes\n", *traceOut, *size)
+	}
+	if *timings {
+		fmt.Fprint(os.Stderr, tr.Report().String())
 	}
 }
 

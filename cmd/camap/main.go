@@ -20,6 +20,7 @@ import (
 	"cacheautomaton/internal/bitstream"
 	"cacheautomaton/internal/mapper"
 	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/telemetry"
 	"cacheautomaton/internal/workload"
 
 	"cacheautomaton/internal/anml"
@@ -36,6 +37,7 @@ func main() {
 	caseIns := flag.Bool("i", false, "case-insensitive regex")
 	imageOut := flag.String("o", "", "write the configuration bitstream image to this file")
 	dotOut := flag.String("dot", "", "write the partition graph (Graphviz DOT) to this file")
+	traceCompile := flag.Bool("trace-compile", false, "print the compile-pipeline phase breakdown")
 	flag.Parse()
 
 	n, err := loadNFA(*rules, *anmlFile, *bench, *scale, *seed, *caseIns)
@@ -47,11 +49,19 @@ func main() {
 		kind = arch.SpaceOpt
 	}
 	before := n.ComputeStats()
+	var tr *telemetry.Trace
+	if *traceCompile {
+		tr = telemetry.NewTrace("camap/" + kind.String())
+	}
 	pl, level, err := mapper.MapOptimized(n, mapper.Config{
 		Design:         arch.NewDesign(kind),
 		Seed:           *seed,
 		AllowChainedG4: kind == arch.SpaceOpt,
+		Trace:          tr,
 	})
+	if *traceCompile {
+		fmt.Print(tr.Report().String())
+	}
 	if err != nil {
 		fatal(err)
 	}

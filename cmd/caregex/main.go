@@ -15,12 +15,14 @@ import (
 
 	"cacheautomaton/internal/anml"
 	"cacheautomaton/internal/regexc"
+	"cacheautomaton/internal/telemetry"
 )
 
 func main() {
 	rules := flag.String("rules", "", "file with one regex per line")
 	id := flag.String("id", "cacheautomaton", "automata-network id")
 	caseIns := flag.Bool("i", false, "case-insensitive")
+	traceCompile := flag.Bool("trace-compile", false, "print the front-end phase breakdown to stderr")
 	flag.Parse()
 	if *rules == "" {
 		fatal(fmt.Errorf("-rules is required"))
@@ -36,7 +38,14 @@ func main() {
 			pats = append(pats, line)
 		}
 	}
-	n, err := regexc.CompileSet(pats, regexc.Options{CaseInsensitive: *caseIns})
+	var tr *telemetry.Trace
+	if *traceCompile {
+		tr = telemetry.NewTrace("caregex")
+	}
+	n, err := regexc.CompileSet(pats, regexc.Options{CaseInsensitive: *caseIns, Trace: tr})
+	if *traceCompile {
+		fmt.Fprint(os.Stderr, tr.Report().String())
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -4,7 +4,13 @@
 // Usage:
 //
 //	carun -rules rules.txt -in data.bin [-design perf|space] [-max 20]
+//	carun -rules rules.txt -in data.bin -trace-compile -metrics-addr :8080
 //	echo "some text" | carun -rules rules.txt -in -
+//
+// With -metrics-addr, a telemetry endpoint serves /metrics (Prometheus
+// text), /metrics.json, /debug/vars (expvar) and /debug/pprof/ for the
+// lifetime of the process. With -trace-compile, the compiler's per-phase
+// wall-time breakdown is printed before the results.
 package main
 
 import (
@@ -15,74 +21,110 @@ import (
 	"strings"
 
 	ca "cacheautomaton"
+	"cacheautomaton/internal/telemetry"
 )
 
 func main() {
-	rules := flag.String("rules", "", "file with one regex per line")
-	snort := flag.String("snort", "", "Snort-style rule file (content/pcre/sid)")
-	clamav := flag.String("clamav", "", "ClamAV-style hex-signature database")
-	in := flag.String("in", "-", "input file ('-' for stdin)")
-	design := flag.String("design", "perf", "perf (CA_P) or space (CA_S)")
-	maxPrint := flag.Int("max", 20, "print at most this many matches")
-	caseIns := flag.Bool("i", false, "case-insensitive")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of carun: parses args, compiles, executes, and
+// prints; returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("carun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "file with one regex per line")
+	snort := fs.String("snort", "", "Snort-style rule file (content/pcre/sid)")
+	clamav := fs.String("clamav", "", "ClamAV-style hex-signature database")
+	in := fs.String("in", "-", "input file ('-' for stdin)")
+	design := fs.String("design", "perf", "perf (CA_P) or space (CA_S)")
+	maxPrint := fs.Int("max", 20, "print at most this many matches")
+	caseIns := fs.Bool("i", false, "case-insensitive")
+	traceCompile := fs.Bool("trace-compile", false, "print the compile-pipeline phase breakdown")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (':0' picks a port)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
 	opts := ca.Options{CaseInsensitive: *caseIns}
 	if strings.HasPrefix(*design, "s") {
 		opts.Design = ca.Space
 	}
+	if *metricsAddr != "" {
+		opts.RunObserver = telemetry.NewMachineCollector(nil)
+		srv, err := telemetry.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(stderr, "carun:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+	}
+
 	var a *ca.Automaton
 	var err error
 	switch {
 	case *snort != "":
 		text, rerr := os.ReadFile(*snort)
 		if rerr != nil {
-			fatal(rerr)
+			fmt.Fprintln(stderr, "carun:", rerr)
+			return 1
 		}
 		a, err = ca.CompileSnortRules(string(text), opts)
 	case *clamav != "":
 		text, rerr := os.ReadFile(*clamav)
 		if rerr != nil {
-			fatal(rerr)
+			fmt.Fprintln(stderr, "carun:", rerr)
+			return 1
 		}
 		a, _, err = ca.CompileClamAVDatabase(string(text), opts)
 	case *rules != "":
 		pats, rerr := readLines(*rules)
 		if rerr != nil {
-			fatal(rerr)
+			fmt.Fprintln(stderr, "carun:", rerr)
+			return 1
 		}
 		a, err = ca.CompileRegex(pats, opts)
 	default:
-		fatal(fmt.Errorf("one of -rules, -snort, -clamav is required"))
+		fmt.Fprintln(stderr, "carun: one of -rules, -snort, -clamav is required")
+		return 1
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "carun:", err)
+		return 1
 	}
-	data, err := readAll(*in)
+	if *traceCompile {
+		fmt.Fprint(stdout, a.CompileReport().String())
+	}
+	data, err := readAll(*in, stdin)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "carun:", err)
+		return 1
 	}
 	matches, stats, err := a.Run(data)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "carun:", err)
+		return 1
 	}
 	for i, m := range matches {
 		if i >= *maxPrint {
-			fmt.Printf("... and %d more\n", len(matches)-*maxPrint)
+			fmt.Fprintf(stdout, "... and %d more\n", len(matches)-*maxPrint)
 			break
 		}
-		fmt.Printf("match: rule %d at offset %d\n", m.Pattern, m.Offset)
+		fmt.Fprintf(stdout, "match: rule %d at offset %d\n", m.Pattern, m.Offset)
 	}
-	fmt.Printf("-- %s: %d states in %d partitions (%.3f MB of LLC)\n",
+	fmt.Fprintf(stdout, "-- %s: %d states in %d partitions (%.3f MB of LLC)\n",
 		opts.Design, a.States(), a.Partitions(), a.CacheUsageMB())
-	fmt.Printf("-- %d symbols, %d matches, avg %.1f active states\n",
+	fmt.Fprintf(stdout, "-- %d symbols, %d matches, avg %.1f active states\n",
 		stats.Cycles, stats.Matches, stats.AvgActiveStates)
-	fmt.Printf("-- modeled: %.2f GHz, %.0f ns runtime, %.1f pJ/symbol, %.2f W\n",
+	fmt.Fprintf(stdout, "-- modeled: %.2f GHz, %.0f ns runtime, %.1f pJ/symbol, %.2f W\n",
 		a.FrequencyGHz(), stats.ModeledSeconds*1e9, stats.EnergyPJPerSymbol, stats.AvgPowerW)
+	return 0
 }
 
-func readAll(path string) ([]byte, error) {
+func readAll(path string, stdin io.Reader) ([]byte, error) {
 	if path == "-" {
-		return io.ReadAll(os.Stdin)
+		return io.ReadAll(stdin)
 	}
 	return os.ReadFile(path)
 }
@@ -100,9 +142,4 @@ func readLines(path string) ([]string, error) {
 		}
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "carun:", err)
-	os.Exit(1)
 }

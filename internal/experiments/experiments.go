@@ -19,6 +19,7 @@ import (
 	"cacheautomaton/internal/machine"
 	"cacheautomaton/internal/mapper"
 	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/telemetry"
 	"cacheautomaton/internal/workload"
 )
 
@@ -33,6 +34,12 @@ type Config struct {
 	Seed int64
 	// Benchmarks restricts the set (nil = all 20).
 	Benchmarks []string
+	// Observer, when non-nil, receives run telemetry from every simulated
+	// machine (cabench -metrics-addr feeds a telemetry.MachineCollector).
+	Observer machine.Observer
+	// TraceSink, when non-nil, receives the compile-pipeline phase
+	// breakdown of each (benchmark, design) mapping as it completes.
+	TraceSink func(name string, r *telemetry.CompileReport)
 }
 
 func (c Config) scale() float64 {
@@ -117,11 +124,19 @@ func (r *Runner) execute(spec *workload.Spec, kind arch.DesignKind) *Run {
 		return run
 	}
 	design := arch.NewDesign(kind)
+	var tr *telemetry.Trace
+	if r.Cfg.TraceSink != nil {
+		tr = telemetry.NewTrace(spec.Name + "/" + kind.String())
+	}
 	pl, level, err := mapper.MapOptimized(n, mapper.Config{
 		Design:         design,
 		Seed:           r.Cfg.Seed,
 		AllowChainedG4: kind == arch.SpaceOpt,
+		Trace:          tr,
 	})
+	if r.Cfg.TraceSink != nil {
+		r.Cfg.TraceSink(spec.Name+"/"+kind.String(), tr.Report())
+	}
 	if err != nil {
 		run.Err = fmt.Errorf("map: %w", err)
 		return run
@@ -129,7 +144,7 @@ func (r *Runner) execute(spec *workload.Spec, kind arch.DesignKind) *Run {
 	run.MergeLevel = level
 	run.Stats = pl.NFA.ComputeStats()
 	run.Mapping = pl.ComputeStats()
-	m, err := machine.New(pl, machine.Options{})
+	m, err := machine.New(pl, machine.Options{Observer: r.Cfg.Observer})
 	if err != nil {
 		run.Err = fmt.Errorf("machine: %w", err)
 		return run

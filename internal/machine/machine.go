@@ -18,6 +18,7 @@ package machine
 
 import (
 	"fmt"
+	"time"
 
 	"cacheautomaton/internal/arch"
 	"cacheautomaton/internal/bitvec"
@@ -55,6 +56,29 @@ type Options struct {
 	CollectMatches bool
 	// MatchLimit caps collected matches (0 = unlimited).
 	MatchLimit int
+	// Observer receives run telemetry. Nil (the default) costs one
+	// predictable branch per cycle and allocates nothing on the symbol
+	// hot path. telemetry.MachineCollector satisfies this interface.
+	Observer Observer
+}
+
+// Observer is the machine's run-telemetry hook. The method set is
+// primitives-only so implementations (internal/telemetry, and the root
+// package's exported RunObserver) need no machine types.
+type Observer interface {
+	// ObserveCycle is called once per input symbol with that cycle's
+	// enabled-state count, active-partition count, and G-switch source
+	// signal counts.
+	ObserveCycle(activeStates, activePartitions, g1, g4 int64)
+	// ObserveMatches is called with the report count of each reporting
+	// cycle/partition.
+	ObserveMatches(n int64)
+	// ObserveOverflow is called on each output-buffer interrupt (§2.8).
+	ObserveOverflow()
+	// ObserveRun is called at the end of each Run with the symbol count,
+	// the host wall-clock seconds spent, and the output-buffer high-water
+	// mark so far.
+	ObserveRun(symbols int64, seconds float64, outputPeak int64)
 }
 
 // ActivityStats accumulates the per-cycle statistics the energy model
@@ -123,6 +147,9 @@ type Result struct {
 	OutputBufferInterrupts int64
 	// FIFORefills counts cache-line reads refilling the input FIFO (§2.8).
 	FIFORefills int64
+	// OutputBufferPeak is the high-water mark of buffered report entries
+	// (≤ OutputBufferEntries; the buffer drains on interrupt).
+	OutputBufferPeak int64
 	// Activity is the per-cycle statistics accumulation.
 	Activity ActivityStats
 }
@@ -282,7 +309,7 @@ func (m *Machine) NumPartitions() int { return len(m.parts) }
 func (m *Machine) Step(sym byte) {
 	st := &m.res.Activity
 	st.Cycles++
-	var activeStates, dynamicStates, activeParts int64
+	var activeStates, dynamicStates, activeParts, cycG1, cycG4 int64
 
 	// All currently-active and always-start partitions take part in the
 	// end-of-cycle commit; cross activations add more.
@@ -339,10 +366,12 @@ func (m *Machine) Step(sym byte) {
 			}
 			g4 += slotG4
 		})
-		st.SumG1Crossings += g1
-		st.SumG4Crossings += g4
+		cycG1 += g1
+		cycG4 += g4
 	}
 
+	st.SumG1Crossings += cycG1
+	st.SumG4Crossings += cycG4
 	st.SumActiveStates += activeStates
 	st.SumDynamicStates += dynamicStates
 	st.SumActivePartitions += activeParts
@@ -351,6 +380,9 @@ func (m *Machine) Step(sym byte) {
 	}
 	if activeParts > st.MaxActivePartitions {
 		st.MaxActivePartitions = activeParts
+	}
+	if m.opts.Observer != nil {
+		m.opts.Observer.ObserveCycle(activeStates, activeParts, cycG1, cycG4)
 	}
 
 	// Commit: enabled' = next ∪ always for every touched partition.
@@ -373,13 +405,21 @@ func (m *Machine) Step(sym byte) {
 
 // report records matched reporting slots of partition p.
 func (m *Machine) report(p *partition, pi int) {
+	var reported int64
 	m.scratch.And(p.matched, p.reports)
 	m.scratch.ForEach(func(slot int) {
 		m.res.MatchCount++
+		reported++
 		m.outBuffered++
+		if int64(m.outBuffered) > m.res.OutputBufferPeak {
+			m.res.OutputBufferPeak = int64(m.outBuffered)
+		}
 		if m.outBuffered >= OutputBufferEntries {
 			m.res.OutputBufferInterrupts++
 			m.outBuffered = 0
+			if m.opts.Observer != nil {
+				m.opts.Observer.ObserveOverflow()
+			}
 		}
 		if m.opts.CollectMatches &&
 			(m.opts.MatchLimit == 0 || len(m.res.Matches) < m.opts.MatchLimit) {
@@ -391,6 +431,9 @@ func (m *Machine) report(p *partition, pi int) {
 			})
 		}
 	})
+	if m.opts.Observer != nil && reported > 0 {
+		m.opts.Observer.ObserveMatches(reported)
+	}
 }
 
 // Run processes the input and returns a snapshot of the accumulated
@@ -398,9 +441,26 @@ func (m *Machine) report(p *partition, pi int) {
 // continue the stream; call Reset to start over.
 func (m *Machine) Run(input []byte) *Result {
 	m.res.FIFORefills += int64(arch.CeilDiv(len(input), cacheLineBytes))
+	var start time.Time
+	if m.opts.Observer != nil {
+		start = time.Now()
+	}
 	for _, b := range input {
 		m.Step(b)
 	}
+	if m.opts.Observer != nil {
+		m.opts.Observer.ObserveRun(int64(len(input)), time.Since(start).Seconds(),
+			m.res.OutputBufferPeak)
+	}
 	r := m.res
 	return &r
+}
+
+// DrainMatches hands over the collected matches and releases the machine's
+// reference to them, so long-lived streams do not retain every match ever
+// seen. The accumulated MatchCount and activity statistics are unaffected.
+func (m *Machine) DrainMatches() []Match {
+	ms := m.res.Matches
+	m.res.Matches = nil
+	return ms
 }

@@ -7,6 +7,7 @@ import (
 	"cacheautomaton/internal/arch"
 	"cacheautomaton/internal/nfa"
 	"cacheautomaton/internal/partition"
+	"cacheautomaton/internal/telemetry"
 )
 
 // Config controls the mapping.
@@ -27,6 +28,10 @@ type Config struct {
 	// relaxation is documented in DESIGN.md. Default true for the space
 	// design; ignored for CA_P (which never uses G4).
 	AllowChainedG4 bool
+	// Trace, when non-nil, records the mapping phases (component analysis,
+	// large-component splitting, small-component packing, cross-edge
+	// computation) with state counts, split retries and repair moves.
+	Trace *telemetry.Trace
 }
 
 func (c Config) waysPerSlice() int {
@@ -77,6 +82,7 @@ func Map(n *nfa.NFA, cfg Config) (*Placement, error) {
 		m.pl.SlotOf[i] = -1
 	}
 
+	sc := cfg.Trace.StartPhase("map.components")
 	comps, _ := n.ConnectedComponents() // ascending by size
 	var small, big []nfa.Component
 	for _, c := range comps {
@@ -86,21 +92,39 @@ func Map(n *nfa.NFA, cfg Config) (*Placement, error) {
 			big = append(big, c)
 		}
 	}
+	sc.SetAttr("states", int64(n.NumStates()))
+	sc.SetAttr("components", int64(len(comps)))
+	sc.SetAttr("large", int64(len(big)))
+	sc.End()
+
 	// Large components first: they need contiguous way real estate.
 	// Process largest first so alignment holes are created early and then
 	// backfilled by small components.
+	sl := cfg.Trace.StartPhase("map.large")
 	sort.SliceStable(big, func(a, b int) bool { return big[a].Size() > big[b].Size() })
 	for _, c := range big {
 		if err := m.mapLargeComponent(c); err != nil {
 			return nil, err
 		}
 	}
+	sl.SetAttr("split_retries", int64(m.splitRetries))
+	sl.SetAttr("repair_moves", int64(m.repairMoves))
+	sl.End()
+
+	sp := cfg.Trace.StartPhase("map.pack")
 	m.packSmallComponents(small)
 	m.assignWaysForUnplaced()
 	m.consolidate()
+	sp.SetAttr("partitions", int64(len(m.pl.Partitions)))
+	sp.SetAttr("ways", int64(len(m.wayFill)))
+	sp.End()
+
+	sx := cfg.Trace.StartPhase("map.cross")
 	if err := m.computeCrossEdges(); err != nil {
 		return nil, err
 	}
+	sx.SetAttr("cross_edges", int64(len(m.pl.Cross)))
+	sx.End()
 	return m.pl, nil
 }
 
@@ -113,6 +137,10 @@ type builder struct {
 	// pending are partition indices not yet assigned a way (small-CC
 	// partitions, placed last into any free slot).
 	pending []int
+	// splitRetries and repairMoves accumulate compile-telemetry counts
+	// across all large components.
+	splitRetries int
+	repairMoves  int
 }
 
 // newPartition allocates a partition; way < 0 defers way assignment.
@@ -209,6 +237,7 @@ func (m *builder) mapLargeComponent(c nfa.Component) error {
 	kMin := arch.CeilDiv(c.Size(), arch.PartitionSTEs)
 	var lastErr error
 	for attempt := 0; attempt < m.cfg.maxRetries(); attempt++ {
+		m.splitRetries++
 		tryK := k
 		if attempt%2 == 1 && kMin < k {
 			tryK = k - 1 - attempt/2
@@ -284,7 +313,9 @@ func (m *builder) tryCommit(sub *nfa.NFA, orig []nfa.StateID, parts [][]int32, p
 	}
 	order := orderByConnectivity(sub, parts)
 	bs := newBudgetState(sub, parts, order, ppw)
-	if err := repairBudgets(bs, d.G1SignalsPerPartition, d.G4SignalsPerPartition, 400); err != nil {
+	err := repairBudgets(bs, d.G1SignalsPerPartition, d.G4SignalsPerPartition, 400)
+	m.repairMoves += bs.moves
+	if err != nil {
 		return err
 	}
 	parts = bs.parts

@@ -47,6 +47,7 @@ func MapOptimized(n *nfa.NFA, cfg Config) (*Placement, OptimizeLevel, error) {
 	}
 	var lastErr error
 	for _, level := range []OptimizeLevel{FullMerge, PrefixMerge, NoMerge} {
+		sp := cfg.Trace.StartPhase("backoff." + level.String())
 		candidate := n
 		switch level {
 		case FullMerge:
@@ -54,10 +55,16 @@ func MapOptimized(n *nfa.NFA, cfg Config) (*Placement, OptimizeLevel, error) {
 		case PrefixMerge:
 			candidate = spaceopt.Optimize(n, spaceopt.Options{PrefixOnly: true}).NFA
 		}
+		sp.SetAttr("states_in", int64(n.NumStates()))
+		sp.SetAttr("states_out", int64(candidate.NumStates()))
 		pl, err := Map(candidate, cfg)
 		if err == nil {
+			sp.SetAttr("mapped", 1)
+			sp.End()
 			return pl, level, nil
 		}
+		sp.SetAttr("mapped", 0)
+		sp.End()
 		lastErr = err
 	}
 	return nil, NoMerge, lastErr

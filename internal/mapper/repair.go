@@ -21,6 +21,8 @@ type budgetState struct {
 	outG4  []map[int32]bool
 	inG1   []map[int32]bool
 	inG4   []map[int32]bool
+	// moves counts successful repair relocations (compile telemetry).
+	moves int
 }
 
 func newBudgetState(sub *nfa.NFA, parts [][]int32, order []int, ppw int) *budgetState {
@@ -155,6 +157,7 @@ func repairBudgets(b *budgetState, g1Limit, g4Limit, maxMoves int) error {
 			if q := b.bestHome(s, part, isOut, g1Limit, g4Limit); q >= 0 {
 				b.move(s, q)
 				b.recompute()
+				b.moves++
 				moved = true
 				break
 			}

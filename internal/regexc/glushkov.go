@@ -190,11 +190,25 @@ func Compile(pattern string, reportCode int32, opts Options) (*nfa.NFA, error) {
 // CompileSet compiles a rule set into one NFA: the disjoint union of the
 // per-pattern automata, with report code i for patterns[i]. This mirrors how
 // AP rule sets bundle hundreds-to-thousands of patterns into one machine
-// (paper §1).
+// (paper §1). With Options.Trace set, the parse and Glushkov phases are
+// recorded as separate spans.
 func CompileSet(patterns []string, opts Options) (*nfa.NFA, error) {
-	out := nfa.New()
+	sp := opts.Trace.StartPhase("regexc.parse")
+	parsed := make([]*Parsed, len(patterns))
 	for i, pat := range patterns {
-		one, err := Compile(pat, int32(i), opts)
+		p, err := Parse(pat, opts)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %d: %w", i, err)
+		}
+		parsed[i] = p
+	}
+	sp.SetAttr("patterns", int64(len(patterns)))
+	sp.End()
+
+	sg := opts.Trace.StartPhase("regexc.glushkov")
+	out := nfa.New()
+	for i, p := range parsed {
+		one, err := CompileParsed(p, int32(i))
 		if err != nil {
 			return nil, fmt.Errorf("pattern %d: %w", i, err)
 		}
@@ -203,6 +217,8 @@ func CompileSet(patterns []string, opts Options) (*nfa.NFA, error) {
 	if err := out.Validate(); err != nil {
 		return nil, err
 	}
+	sg.SetAttr("states", int64(out.NumStates()))
+	sg.End()
 	return out, nil
 }
 

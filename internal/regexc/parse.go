@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/telemetry"
 )
 
 // Options control compilation.
@@ -19,6 +20,9 @@ type Options struct {
 	// structurally, so this bounds state blow-up). 0 means the default of
 	// 256.
 	MaxRepeat int
+	// Trace, when non-nil, records the parse and Glushkov-construction
+	// phases of CompileSet (wall time, pattern and state counts).
+	Trace *telemetry.Trace
 }
 
 func (o Options) maxRepeat() int {

@@ -1,0 +1,89 @@
+package telemetry
+
+// MachineCollector aggregates machine-level run telemetry into a registry.
+// It satisfies the machine package's Observer hook interface (and the root
+// package's RunObserver) structurally — the method set uses only
+// primitives, so this package stays dependency-free.
+//
+// All instruments are atomic, so one collector may be shared by machines
+// running on different goroutines.
+type MachineCollector struct {
+	// Symbols counts input symbols processed across runs.
+	Symbols *Counter
+	// RunSeconds accumulates host wall time spent in Machine.Run.
+	RunSeconds *FloatGauge
+	// SymbolsPerSecond is the host-throughput of the most recent run.
+	SymbolsPerSecond *FloatGauge
+	// ActiveStates and ActivePartitions are per-cycle activity histograms —
+	// the paper's Fig. 9/10 signals.
+	ActiveStates     *Histogram
+	ActivePartitions *Histogram
+	// G1Crossings and G4Crossings count active G-switch source signals.
+	G1Crossings *Counter
+	G4Crossings *Counter
+	// Matches counts report events.
+	Matches *Counter
+	// OutputBufferInterrupts counts 64-entry output-buffer fills (§2.8).
+	OutputBufferInterrupts *Counter
+	// OutputBufferHighWater is the peak buffered-report count seen.
+	OutputBufferHighWater *Gauge
+	// Runs counts completed Machine.Run calls.
+	Runs *Counter
+}
+
+// NewMachineCollector registers the machine run metrics (names prefixed
+// ca_) in reg and returns the collector. reg == nil uses Default().
+func NewMachineCollector(reg *Registry) *MachineCollector {
+	if reg == nil {
+		reg = Default()
+	}
+	stateBuckets := append([]float64{0}, ExpBuckets(1, 2, 13)...) // 0,1,2,…,4096
+	partBuckets := append([]float64{0}, ExpBuckets(1, 2, 9)...)   // 0,1,2,…,256
+	return &MachineCollector{
+		Symbols:          reg.Counter("ca_run_symbols_total", "Input symbols processed."),
+		RunSeconds:       reg.FloatGauge("ca_run_seconds_total", "Host wall time spent simulating."),
+		SymbolsPerSecond: reg.FloatGauge("ca_run_symbols_per_second", "Host throughput of the last run."),
+		ActiveStates: reg.Histogram("ca_active_states",
+			"Per-cycle enabled-state count (includes always-enabled starts).", stateBuckets),
+		ActivePartitions: reg.Histogram("ca_active_partitions",
+			"Per-cycle partitions with at least one enabled state.", partBuckets),
+		G1Crossings: reg.Counter("ca_g1_crossings_total", "Active G-Switch-1 source signals."),
+		G4Crossings: reg.Counter("ca_g4_crossings_total", "Active G-Switch-4 source signals (chained hops count twice)."),
+		Matches:     reg.Counter("ca_matches_total", "Report events."),
+		OutputBufferInterrupts: reg.Counter("ca_output_buffer_interrupts_total",
+			"CPU interrupts raised by output-buffer fills."),
+		OutputBufferHighWater: reg.Gauge("ca_output_buffer_highwater",
+			"Peak entries buffered in the 64-deep output buffer."),
+		Runs: reg.Counter("ca_runs_total", "Completed Machine.Run calls."),
+	}
+}
+
+// ObserveCycle records one simulated cycle's activity.
+func (c *MachineCollector) ObserveCycle(activeStates, activePartitions, g1, g4 int64) {
+	c.ActiveStates.ObserveInt(activeStates)
+	c.ActivePartitions.ObserveInt(activePartitions)
+	if g1 != 0 {
+		c.G1Crossings.Add(g1)
+	}
+	if g4 != 0 {
+		c.G4Crossings.Add(g4)
+	}
+}
+
+// ObserveMatches records n report events.
+func (c *MachineCollector) ObserveMatches(n int64) { c.Matches.Add(n) }
+
+// ObserveOverflow records one output-buffer interrupt.
+func (c *MachineCollector) ObserveOverflow() { c.OutputBufferInterrupts.Inc() }
+
+// ObserveRun records a completed run: symbol count, host wall seconds, and
+// the output-buffer high-water mark.
+func (c *MachineCollector) ObserveRun(symbols int64, seconds float64, outputPeak int64) {
+	c.Runs.Inc()
+	c.Symbols.Add(symbols)
+	c.RunSeconds.Add(seconds)
+	if seconds > 0 {
+		c.SymbolsPerSecond.Set(float64(symbols) / seconds)
+	}
+	c.OutputBufferHighWater.SetMax(outputPeak)
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ca_test_total", "a test counter").Add(11)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "ca_test_total 11") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body = get(t, base+"/metrics.json")
+	var obj map[string]any
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &obj) != nil {
+		t.Errorf("/metrics.json = %d %q", code, body)
+	}
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Errorf("/debug/vars not JSON: %v", err)
+	} else if _, ok := vars["cacheautomaton"]; !ok {
+		t.Errorf("/debug/vars missing cacheautomaton registry: %v", body)
+	}
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	// A second Serve against the same registry must not panic on the
+	// already-published expvar.
+	srv2, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Close()
+}
+
+func TestMachineCollector(t *testing.T) {
+	reg := NewRegistry()
+	c := NewMachineCollector(reg)
+	c.ObserveCycle(10, 2, 1, 3)
+	c.ObserveCycle(20, 3, 0, 0)
+	c.ObserveMatches(5)
+	c.ObserveOverflow()
+	c.ObserveRun(2, 0.5, 40)
+	if got := c.Symbols.Value(); got != 2 {
+		t.Errorf("symbols = %d", got)
+	}
+	if got := c.SymbolsPerSecond.Value(); got != 4 {
+		t.Errorf("symbols/sec = %v, want 4", got)
+	}
+	if got := c.ActiveStates.Mean(); got != 15 {
+		t.Errorf("active-state mean = %v, want 15", got)
+	}
+	if got := c.G4Crossings.Value(); got != 3 {
+		t.Errorf("g4 = %d", got)
+	}
+	if got := c.OutputBufferHighWater.Value(); got != 40 {
+		t.Errorf("highwater = %d", got)
+	}
+	// Second collector on the same registry shares instruments.
+	c2 := NewMachineCollector(reg)
+	if c2.Symbols != c.Symbols {
+		t.Error("collectors on one registry should share counters")
+	}
+}

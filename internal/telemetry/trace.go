@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace records the phase breakdown of one compile-pipeline invocation
+// (regex parse → Glushkov construction → CC packing → k-way partitioning →
+// budget repair → placement). A nil *Trace is valid everywhere and makes
+// every method a no-op, so instrumented code paths need no conditionals.
+type Trace struct {
+	mu     sync.Mutex
+	name   string
+	start  time.Time
+	phases []*Span
+}
+
+// NewTrace opens a trace.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// StartPhase opens a span. Phases are recorded in start order; nested or
+// overlapping spans are allowed (the report is a flat list). Safe on a nil
+// trace (returns a nil span, whose methods are also no-ops).
+func (t *Trace) StartPhase(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.phases = append(t.phases, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed pipeline phase with integer attributes (state counts,
+// partition counts, repair iterations, …).
+type Span struct {
+	mu    sync.Mutex
+	name  string
+	start time.Time
+	dur   time.Duration
+	done  bool
+	attrs []Attr
+}
+
+// Attr is one integer annotation on a span.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// SetAttr records (or overwrites) an attribute. Safe on a nil span.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// AddAttr adds v to an attribute, creating it at v. Safe on a nil span.
+func (s *Span) AddAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value += v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// End closes the span. Ending twice keeps the first duration. Safe on a
+// nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.dur = time.Since(s.start)
+		s.done = true
+	}
+	s.mu.Unlock()
+}
+
+// CompileReport is the structured result of a trace: the per-phase wall
+// times and attributes of one compilation.
+type CompileReport struct {
+	Name   string
+	Total  time.Duration
+	Phases []PhaseReport
+}
+
+// PhaseReport is one phase of a CompileReport.
+type PhaseReport struct {
+	Name     string
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Report snapshots the trace. Unfinished spans report the time elapsed so
+// far. Safe on a nil trace (returns nil).
+func (t *Trace) Report() *CompileReport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := &CompileReport{Name: t.name, Total: time.Since(t.start)}
+	for _, s := range t.phases {
+		s.mu.Lock()
+		d := s.dur
+		if !s.done {
+			d = time.Since(s.start)
+		}
+		r.Phases = append(r.Phases, PhaseReport{
+			Name:     s.name,
+			Duration: d,
+			Attrs:    append([]Attr(nil), s.attrs...),
+		})
+		s.mu.Unlock()
+	}
+	return r
+}
+
+// Format writes a human-readable phase breakdown:
+//
+//	compile-regex                 1.23ms total
+//	  regexc.parse                  0.11ms  patterns=3
+//	  regexc.glushkov               0.31ms  states=42
+//	  map.components                0.02ms  components=3 large=0
+func (r *CompileReport) Format(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "(no compile trace)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-28s %9.2fms total\n", r.Name, ms(r.Total)); err != nil {
+		return err
+	}
+	for _, p := range r.Phases {
+		var attrs strings.Builder
+		for _, a := range p.Attrs {
+			fmt.Fprintf(&attrs, " %s=%d", a.Key, a.Value)
+		}
+		if _, err := fmt.Fprintf(w, "  %-28s %9.2fms %s\n", p.Name, ms(p.Duration), attrs.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the report as Format does.
+func (r *CompileReport) String() string {
+	var b strings.Builder
+	_ = r.Format(&b)
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Attr lookup helper: value of key in the phase, or 0.
+func (p PhaseReport) Attr(key string) int64 {
+	for _, a := range p.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return 0
+}
+
+// Phase returns the first phase with the given name, or nil.
+func (r *CompileReport) Phase(name string) *PhaseReport {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracePhases(t *testing.T) {
+	tr := NewTrace("compile")
+	s := tr.StartPhase("parse")
+	s.SetAttr("patterns", 3)
+	s.AddAttr("patterns", 2)
+	s.SetAttr("states", 40)
+	time.Sleep(time.Millisecond)
+	s.End()
+	s2 := tr.StartPhase("map")
+	s2.End()
+
+	r := tr.Report()
+	if r.Name != "compile" || len(r.Phases) != 2 {
+		t.Fatalf("report = %+v", r)
+	}
+	p := r.Phase("parse")
+	if p == nil {
+		t.Fatal("no parse phase")
+	}
+	if p.Attr("patterns") != 5 || p.Attr("states") != 40 {
+		t.Errorf("attrs = %v", p.Attrs)
+	}
+	if p.Attr("missing") != 0 {
+		t.Errorf("missing attr should read 0")
+	}
+	if p.Duration <= 0 || r.Total < p.Duration {
+		t.Errorf("durations: phase %v total %v", p.Duration, r.Total)
+	}
+	out := r.String()
+	for _, want := range []string{"compile", "parse", "patterns=5", "states=40", "map"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	s := tr.StartPhase("anything")
+	s.SetAttr("k", 1)
+	s.AddAttr("k", 1)
+	s.End()
+	if tr.Report() != nil {
+		t.Error("nil trace should report nil")
+	}
+	if tr.Report().Phase("x") != nil {
+		t.Error("nil report Phase should be nil")
+	}
+	var b strings.Builder
+	if err := (*CompileReport)(nil).Format(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no compile trace") {
+		t.Errorf("nil report format = %q", b.String())
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("t")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s := tr.StartPhase("p")
+				s.AddAttr("n", 1)
+				s.End()
+				_ = tr.Report()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Report().Phases); got != 800 {
+		t.Errorf("phases = %d, want 800", got)
+	}
+}
