@@ -8,6 +8,7 @@
 package cacheautomaton
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"strconv"
@@ -207,6 +208,31 @@ func BenchmarkHostSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(a.ThroughputGbps(), "modeled-Gb/s")
+}
+
+// BenchmarkRunParallelThroughput measures the parallel engine's host
+// throughput across shard counts on the same workload as
+// BenchmarkHostSimulatorThroughput; speedup tracks GOMAXPROCS.
+func BenchmarkRunParallelThroughput(b *testing.B) {
+	a, err := CompileRegex([]string{"needle[0-9]{4}", "other.*thing"}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]byte, 1<<20)
+	for i := range in {
+		in[i] = byte(i * 131)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(in)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := a.RunParallel(in, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCPUBaselineNFAEngine measures the software active-set engine —

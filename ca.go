@@ -21,6 +21,7 @@ package cacheautomaton
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -141,6 +142,9 @@ type Automaton struct {
 	observer  RunObserver
 	// countMachine is the cached non-collecting machine behind Count.
 	countMachine *machine.Machine
+	// pool holds the replicated machines behind RunParallel, grown on
+	// demand and reused across calls.
+	pool []*machine.Machine
 }
 
 // CompileRegex compiles a rule set (one pattern per entry; matches report
@@ -298,6 +302,63 @@ func (a *Automaton) Run(input []byte) ([]Match, *Stats, error) {
 		matches[i] = Match{Offset: m.Offset, Pattern: int(m.Code)}
 	}
 	return matches, a.statsFrom(res), nil
+}
+
+// RunParallel resets the automaton and scans input with up to shards
+// replicated machines running concurrently — the software analogue of the
+// paper's §3.4 input-stream replication across C-BOXes, with the stream
+// divided into contiguous shards instead of duplicated. Matches and
+// statistics are bit-identical to Run (shards speculate their start state
+// and a repair pass re-runs any shard whose speculation missed; see
+// machine.RunSharded). shards < 1 uses GOMAXPROCS; shards == 1, or an
+// input too short to be worth sharding, falls back to the sequential path.
+//
+// Per-cycle RunObserver telemetry is not delivered on the parallel path
+// (the shard machines would observe speculative warm-up cycles); the
+// ObserveRun end-of-run summary still fires once.
+func (a *Automaton) RunParallel(input []byte, shards int) ([]Match, *Stats, error) {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	shards = machine.ShardsFor(shards, len(input))
+	if shards == 1 {
+		return a.Run(input)
+	}
+	var start time.Time
+	if a.observer != nil {
+		start = time.Now()
+	}
+	pool, err := a.ensurePool(shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := machine.RunSharded(pool, input)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cacheautomaton: %w", err)
+	}
+	matches := make([]Match, len(res.Matches))
+	for i, m := range res.Matches {
+		matches[i] = Match{Offset: m.Offset, Pattern: int(m.Code)}
+	}
+	if a.observer != nil {
+		a.observer.ObserveRun(int64(len(input)), time.Since(start).Seconds(),
+			res.OutputBufferPeak)
+	}
+	return matches, a.statsFrom(res), nil
+}
+
+// ensurePool grows the RunParallel machine pool to n replicated machines.
+// Pool machines collect matches but carry no observer (RunSharded does not
+// deliver per-cycle telemetry).
+func (a *Automaton) ensurePool(n int) ([]*machine.Machine, error) {
+	for len(a.pool) < n {
+		m, err := machine.New(a.placement, machine.Options{CollectMatches: true})
+		if err != nil {
+			return nil, fmt.Errorf("cacheautomaton: %w", err)
+		}
+		a.pool = append(a.pool, m)
+	}
+	return a.pool[:n], nil
 }
 
 // Count processes input without collecting match records (for long

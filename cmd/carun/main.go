@@ -4,8 +4,13 @@
 // Usage:
 //
 //	carun -rules rules.txt -in data.bin [-design perf|space] [-max 20]
+//	carun -rules rules.txt -in data.bin -parallel 0
 //	carun -rules rules.txt -in data.bin -trace-compile -metrics-addr :8080
 //	echo "some text" | carun -rules rules.txt -in -
+//
+// With -parallel N, the input is scanned by N replicated machines in
+// parallel (N=0 uses all cores) with bit-identical matches and statistics;
+// short inputs fall back to the sequential engine.
 //
 // With -metrics-addr, a telemetry endpoint serves /metrics (Prometheus
 // text), /metrics.json, /debug/vars (expvar) and /debug/pprof/ for the
@@ -40,6 +45,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	design := fs.String("design", "perf", "perf (CA_P) or space (CA_S)")
 	maxPrint := fs.Int("max", 20, "print at most this many matches")
 	caseIns := fs.Bool("i", false, "case-insensitive")
+	parallel := fs.Int("parallel", 1, "scan with this many replicated machines (0 = all cores)")
 	traceCompile := fs.Bool("trace-compile", false, "print the compile-pipeline phase breakdown")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (':0' picks a port)")
 	if err := fs.Parse(args); err != nil {
@@ -101,7 +107,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "carun:", err)
 		return 1
 	}
-	matches, stats, err := a.Run(data)
+	var matches []ca.Match
+	var stats *ca.Stats
+	if *parallel == 1 {
+		matches, stats, err = a.Run(data)
+	} else {
+		matches, stats, err = a.RunParallel(data, *parallel)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "carun:", err)
 		return 1

@@ -183,3 +183,25 @@ func (w *syncWriter) Write(p []byte) (int, error) {
 	}
 	return n, err
 }
+
+func TestRunParallelFlag(t *testing.T) {
+	rules := writeFile(t, "rules.txt", "needle[0-9]\nx.*yz\n")
+	// Large enough that -parallel 0 actually shards (≥ ~8 KB per shard).
+	var input strings.Builder
+	for i := 0; input.Len() < 100_000; i++ {
+		fmt.Fprintf(&input, "padding %d x around yz needle%d ", i, i%10)
+	}
+	codeSeq, outSeq, errSeq := runCapture(t,
+		[]string{"-rules", rules, "-max", "5", "-in", "-"}, input.String())
+	if codeSeq != 0 {
+		t.Fatalf("sequential exit = %d, stderr = %q", codeSeq, errSeq)
+	}
+	codePar, outPar, errPar := runCapture(t,
+		[]string{"-rules", rules, "-max", "5", "-parallel", "0", "-in", "-"}, input.String())
+	if codePar != 0 {
+		t.Fatalf("parallel exit = %d, stderr = %q", codePar, errPar)
+	}
+	if outPar != outSeq {
+		t.Errorf("-parallel output differs from sequential:\n%s\nvs\n%s", outPar, outSeq)
+	}
+}

@@ -1,0 +1,91 @@
+package bitvec
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// wordWalk collects the set-bit indexes of v the way the machine's hot
+// loop does: a TrailingZeros64 walk over the raw words, no closures.
+func wordWalk(v *Vector) []int {
+	var out []int
+	for wi, w := range v.Words() {
+		for ; w != 0; w &= w - 1 {
+			out = append(out, wi<<6+bits.TrailingZeros64(w))
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickWordWalkAgreesWithForEach asserts the word-level iteration the
+// simulator uses is equivalent to the closure-based ForEach and the
+// NextSet scan on random vectors.
+func TestQuickWordWalkAgreesWithForEach(t *testing.T) {
+	f := func(lenSeed uint16, bitsSeed int64) bool {
+		n := int(lenSeed)%600 + 1
+		v := NewVector(n)
+		rng := rand.New(rand.NewSource(bitsSeed))
+		for i := 0; i < n/3; i++ {
+			v.Set(rng.Intn(n))
+		}
+		walked := wordWalk(v)
+		var forEached []int
+		v.ForEach(func(i int) { forEached = append(forEached, i) })
+		var nexted []int
+		for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+			nexted = append(nexted, i)
+		}
+		return equalInts(walked, forEached) && equalInts(walked, nexted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzWordWalk drives the same equivalence from fuzzed word content,
+// including boundary patterns a random generator rarely hits (all-ones
+// words, bits at word seams).
+func FuzzWordWalk(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{0x80, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data)*8 + 1
+		v := NewVector(n)
+		for i := 0; i < len(data)*8; i++ {
+			if data[i/8]&(1<<(i%8)) != 0 {
+				v.Set(i)
+			}
+		}
+		walked := wordWalk(v)
+		var forEached []int
+		v.ForEach(func(i int) { forEached = append(forEached, i) })
+		if !equalInts(walked, forEached) {
+			t.Fatalf("word walk %v != ForEach %v", walked, forEached)
+		}
+		count := 0
+		for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+			if count >= len(walked) || walked[count] != i {
+				t.Fatalf("NextSet sequence diverges at %d", i)
+			}
+			count++
+		}
+		if count != len(walked) || count != v.Count() {
+			t.Fatalf("counts disagree: walk %d, NextSet %d, Count %d", len(walked), count, v.Count())
+		}
+	})
+}

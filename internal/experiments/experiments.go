@@ -12,7 +12,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"cacheautomaton/internal/arch"
@@ -94,26 +96,82 @@ type Run struct {
 	HostSimTime time.Duration
 }
 
-// Runner executes and caches pipeline runs.
+// Runner executes and caches pipeline runs. It is safe for concurrent
+// use: concurrent Gets for the same (benchmark, design) pair share one
+// execution, and PrefetchAll warms the whole cache over a worker pool.
+// When running concurrently, Config.Observer must itself be safe for
+// concurrent use (telemetry.MachineCollector is).
 type Runner struct {
-	Cfg   Config
-	cache map[string]*Run
+	Cfg Config
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	// traceMu serializes TraceSink calls so concurrent pipelines do not
+	// interleave their compile reports.
+	traceMu sync.Mutex
+}
+
+// cacheEntry single-flights one (benchmark, design) execution.
+type cacheEntry struct {
+	once sync.Once
+	run  *Run
 }
 
 // NewRunner returns a Runner for the config.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{Cfg: cfg, cache: make(map[string]*Run)}
+	return &Runner{Cfg: cfg, cache: make(map[string]*cacheEntry)}
 }
 
 // Get runs (or returns the cached) pipeline for one benchmark and design.
 func (r *Runner) Get(spec *workload.Spec, kind arch.DesignKind) *Run {
 	key := spec.Name + "/" + kind.String()
-	if run, ok := r.cache[key]; ok {
-		return run
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		r.cache[key] = e
 	}
-	run := r.execute(spec, kind)
-	r.cache[key] = run
-	return run
+	r.mu.Unlock()
+	e.once.Do(func() { e.run = r.execute(spec, kind) })
+	return e.run
+}
+
+// PrefetchAll executes every configured (benchmark, design) pipeline over
+// a pool of workers, so subsequent table and figure generation is pure
+// cache reads. workers < 1 uses GOMAXPROCS.
+func (r *Runner) PrefetchAll(workers int) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		spec *workload.Spec
+		kind arch.DesignKind
+	}
+	var jobs []job
+	for _, spec := range r.Cfg.benchmarks() {
+		for _, kind := range []arch.DesignKind{arch.PerfOpt, arch.SpaceOpt} {
+			jobs = append(jobs, job{spec, kind})
+		}
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				r.Get(j.spec, j.kind)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
 }
 
 func (r *Runner) execute(spec *workload.Spec, kind arch.DesignKind) *Run {
@@ -135,7 +193,9 @@ func (r *Runner) execute(spec *workload.Spec, kind arch.DesignKind) *Run {
 		Trace:          tr,
 	})
 	if r.Cfg.TraceSink != nil {
+		r.traceMu.Lock()
 		r.Cfg.TraceSink(spec.Name+"/"+kind.String(), tr.Report())
+		r.traceMu.Unlock()
 	}
 	if err != nil {
 		run.Err = fmt.Errorf("map: %w", err)

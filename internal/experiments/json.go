@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"cacheautomaton/internal/arch"
+)
+
+// BenchRun is the machine-readable record of one (benchmark, design)
+// pipeline run — the per-workload slice of the BENCH_*.json performance
+// trajectory.
+type BenchRun struct {
+	Benchmark string `json:"benchmark"`
+	Design    string `json:"design"`
+	Err       string `json:"err,omitempty"`
+
+	States     int     `json:"states"`
+	Partitions int     `json:"partitions"`
+	MergeLevel string  `json:"merge_level,omitempty"`
+	CacheMB    float64 `json:"cache_mb"`
+
+	AvgActiveStates float64 `json:"avg_active_states"`
+	MatchCount      int64   `json:"match_count"`
+
+	EnergyPJPerSymbol float64 `json:"energy_pj_per_symbol"`
+	PowerW            float64 `json:"power_w"`
+
+	// HostSimSeconds / HostMBPerSec measure the functional simulator on
+	// this host — the numbers the perf trajectory tracks across commits.
+	HostSimSeconds float64 `json:"host_sim_seconds"`
+	HostMBPerSec   float64 `json:"host_mb_per_sec"`
+}
+
+// BenchReport is the cabench -json output: the run configuration plus one
+// record per (benchmark, design) pair and host-time totals.
+type BenchReport struct {
+	Scale      float64    `json:"scale"`
+	InputBytes int        `json:"input_bytes"`
+	Seed       int64      `json:"seed"`
+	Runs       []BenchRun `json:"runs"`
+
+	TotalHostSeconds float64 `json:"total_host_seconds"`
+	// AggregateHostMBPerSec is total simulated bytes over total host
+	// simulation time across all runs.
+	AggregateHostMBPerSec float64 `json:"aggregate_host_mb_per_sec"`
+}
+
+// JSONReport executes (or reads from cache) every configured pipeline and
+// assembles the machine-readable report. Call PrefetchAll first to fill
+// the cache with all cores.
+func (r *Runner) JSONReport() *BenchReport {
+	rep := &BenchReport{
+		Scale:      r.Cfg.scale(),
+		InputBytes: r.Cfg.inputBytes(),
+		Seed:       r.Cfg.Seed,
+	}
+	var totalHost time.Duration
+	var totalBytes int64
+	for _, spec := range r.Cfg.benchmarks() {
+		for _, kind := range []arch.DesignKind{arch.PerfOpt, arch.SpaceOpt} {
+			run := r.Get(spec, kind)
+			br := BenchRun{
+				Benchmark: run.Name,
+				Design:    run.Design.String(),
+			}
+			if run.Err != nil {
+				br.Err = run.Err.Error()
+			} else {
+				br.States = run.Stats.States
+				br.Partitions = run.Mapping.Partitions
+				br.MergeLevel = run.MergeLevel.String()
+				br.CacheMB = run.Mapping.UtilizationMB
+				br.AvgActiveStates = run.Activity.AvgActiveStates()
+				br.MatchCount = run.MatchCount
+				br.EnergyPJPerSymbol = run.EnergyPJPerSymbol
+				br.PowerW = run.PowerW
+				br.HostSimSeconds = run.HostSimTime.Seconds()
+				if s := run.HostSimTime.Seconds(); s > 0 {
+					br.HostMBPerSec = float64(r.Cfg.inputBytes()) / s / (1 << 20)
+				}
+				totalHost += run.HostSimTime
+				totalBytes += int64(r.Cfg.inputBytes())
+			}
+			rep.Runs = append(rep.Runs, br)
+		}
+	}
+	rep.TotalHostSeconds = totalHost.Seconds()
+	if s := totalHost.Seconds(); s > 0 {
+		rep.AggregateHostMBPerSec = float64(totalBytes) / s / (1 << 20)
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (b *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

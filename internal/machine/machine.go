@@ -14,14 +14,22 @@
 // into the 64-deep output buffer (§2.8), which raises an interrupt when
 // full. Per-cycle counts of active partitions and G-switch crossings feed
 // the arch energy model.
+//
+// The simulator mirrors the SRAM's word-parallel nature in its data
+// layout: each partition's 256×256-bit array is one contiguous []uint64
+// (a 4-word stride per symbol row), the active/match vectors are fixed
+// 4-word arrays, and the hot loop is raw word arithmetic — AND/OR over
+// words, popcount for the activity counters, and TrailingZeros64 to walk
+// matched slots. Nothing on the symbol path allocates or calls through an
+// interface when Options.Observer is nil.
 package machine
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"cacheautomaton/internal/arch"
-	"cacheautomaton/internal/bitvec"
 	"cacheautomaton/internal/mapper"
 	"cacheautomaton/internal/nfa"
 )
@@ -36,6 +44,11 @@ const InputFIFOEntries = 128
 
 // cacheLineBytes is the refill granularity of the input FIFO.
 const cacheLineBytes = 64
+
+// wordsPerPartition is the width of one partition's bit vectors in 64-bit
+// words: 256 STE slots = 4 words. The hot loop relies on this being a
+// small compile-time constant.
+const wordsPerPartition = arch.PartitionSTEs / 64
 
 // Match is one report event.
 type Match struct {
@@ -105,6 +118,24 @@ type ActivityStats struct {
 	MaxActiveStates, MaxActivePartitions int64
 }
 
+// merge folds o's totals into s (peaks take the max). Used to combine the
+// per-shard statistics of a parallel run; on exact shard handoffs the sums
+// equal the sequential run's bit for bit.
+func (s *ActivityStats) merge(o *ActivityStats) {
+	s.Cycles += o.Cycles
+	s.SumActiveStates += o.SumActiveStates
+	s.SumDynamicStates += o.SumDynamicStates
+	s.SumActivePartitions += o.SumActivePartitions
+	s.SumG1Crossings += o.SumG1Crossings
+	s.SumG4Crossings += o.SumG4Crossings
+	if o.MaxActiveStates > s.MaxActiveStates {
+		s.MaxActiveStates = o.MaxActiveStates
+	}
+	if o.MaxActivePartitions > s.MaxActivePartitions {
+		s.MaxActivePartitions = o.MaxActivePartitions
+	}
+}
+
 // AvgActiveStates returns the Table-1 activity metric (dynamically
 // activated states per cycle, excluding always-enabled starts).
 func (s ActivityStats) AvgActiveStates() float64 {
@@ -146,6 +177,8 @@ type Result struct {
 	// fills (§2.8).
 	OutputBufferInterrupts int64
 	// FIFORefills counts cache-line reads refilling the input FIFO (§2.8).
+	// Refills are tracked by absolute stream position, so feeding a stream
+	// in unaligned chunks counts each 64-byte line exactly once.
 	FIFORefills int64
 	// OutputBufferPeak is the high-water mark of buffered report entries
 	// (≤ OutputBufferEntries; the buffer drains on interrupt).
@@ -158,30 +191,39 @@ type Result struct {
 type crossTarget struct {
 	part int32
 	slot int32
-	via  mapper.Via
 }
 
-// partition is the runtime state of one 256-STE partition.
+// partition is the runtime state of one 256-STE partition, laid out as
+// flat word arrays so the symbol loop is pure 64-bit arithmetic.
 type partition struct {
-	// rows is the SRAM content: rows[sym] = match vector for that symbol
-	// (one bit per slot). This is exactly the 256×256 bit layout of the
-	// two 4 KB arrays.
-	rows [256]*bitvec.Vector
+	// rows is the SRAM content: rows[sym] is the 256-bit match vector for
+	// symbol sym (one bit per slot) — exactly the 256×256 bit layout of
+	// the two 4 KB arrays, stored contiguously. The pointer-to-array type
+	// lets a byte index through without a bounds check.
+	rows *[256][wordsPerPartition]uint64
 	// enabled is the active-state vector; next accumulates activations for
 	// the following cycle.
-	enabled, next *bitvec.Vector
-	matched       *bitvec.Vector
+	enabled, next [wordsPerPartition]uint64
 	// always marks all-input start slots (OR-ed into enabled every cycle);
 	// startOfData marks slots enabled only for the first symbol.
-	always, startOfData *bitvec.Vector
+	always, startOfData [wordsPerPartition]uint64
 	// reports marks reporting slots.
-	reports *bitvec.Vector
-	// localOut[slot] is the local-switch row: slots activated within the
-	// partition when slot matches (nil when none).
-	localOut []*bitvec.Vector
-	// crossOut[slot] lists G-switch targets (nil when none).
-	crossOut [][]crossTarget
-	// hasAlways caches always.Any(); alwaysCnt caches always.Count().
+	reports [wordsPerPartition]uint64
+	// hasLocal/hasCross mark slots with any local/cross fan-out, so the
+	// matched-slot walk skips slots with nothing programmed.
+	hasLocal, hasCross [wordsPerPartition]uint64
+	// localRows is the local-switch content, laid out like rows:
+	// localRows[s] is slot s's within-partition fan-out vector.
+	localRows *[arch.PartitionSTEs][wordsPerPartition]uint64
+	// crossStart/crossTargets hold slot s's G-switch cross-points in CSR
+	// form: crossTargets[crossStart[s]:crossStart[s+1]].
+	crossStart   []int32
+	crossTargets []crossTarget
+	// crossG1/crossG4 are slot s's precomputed G-switch source-signal
+	// contributions when it matches (G1: 1 if any within-way target; G4:
+	// 2 if any chained hop, else 1 if any cross-way target).
+	crossG1, crossG4 []int8
+	// hasAlways caches always != 0; alwaysCnt its popcount.
 	hasAlways bool
 	alwaysCnt int64
 	// code/state look up report metadata by slot.
@@ -193,19 +235,24 @@ type partition struct {
 type Machine struct {
 	pl    *mapper.Placement
 	opts  Options
-	parts []*partition
-	// curActive lists partitions with any enabled bits this cycle.
-	curActive []int32
-	// touched is the scratch list of partitions participating in the
-	// current commit phase; touchedFlag dedups it.
-	touched     []int32
-	touchedFlag []bool
-	// alwaysParts lists partitions containing all-input starts.
-	alwaysParts []int32
-	scratch     *bitvec.Vector
-	pos         int64
-	outBuffered int
-	res         Result
+	parts []partition
+	// curActive lists partitions with any enabled bits this cycle;
+	// activeFlag mirrors membership (activeFlag[pi] ⇔ pi ∈ curActive) so
+	// the cross-activation path dedups with one flag load. Partitions with
+	// all-input starts are invariantly members: their enabled vector
+	// contains the always mask after every commit.
+	curActive  []int32
+	activeFlag []bool
+	// crossed and curActiveSpare are commit-phase scratch lists (newly
+	// cross-activated partitions; the double buffer for curActive).
+	crossed        []int32
+	curActiveSpare []int32
+	pos            int64
+	// fifoNextLine is the absolute index of the next cache line the input
+	// FIFO will fetch; it makes FIFORefills chunking-invariant.
+	fifoNextLine int64
+	outBuffered  int
+	res          Result
 }
 
 // New builds a machine from a placement (which it verifies first).
@@ -213,90 +260,122 @@ func New(pl *mapper.Placement, opts Options) (*Machine, error) {
 	if err := pl.Verify(); err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
-	m := &Machine{pl: pl, opts: opts, scratch: bitvec.NewVector(arch.PartitionSTEs)}
+	m := &Machine{pl: pl, opts: opts}
 	n := pl.NFA
 	size := arch.PartitionSTEs
-	m.parts = make([]*partition, len(pl.Partitions))
+	m.parts = make([]partition, len(pl.Partitions))
+	cross := make([][][]crossTarget, len(pl.Partitions))
 	for i := range m.parts {
-		p := &partition{
-			enabled:     bitvec.NewVector(size),
-			next:        bitvec.NewVector(size),
-			matched:     bitvec.NewVector(size),
-			always:      bitvec.NewVector(size),
-			startOfData: bitvec.NewVector(size),
-			reports:     bitvec.NewVector(size),
-			localOut:    make([]*bitvec.Vector, size),
-			crossOut:    make([][]crossTarget, size),
-			code:        make([]int32, size),
-			state:       make([]nfa.StateID, size),
-		}
-		for r := range p.rows {
-			p.rows[r] = bitvec.NewVector(size)
-		}
-		m.parts[i] = p
+		p := &m.parts[i]
+		p.rows = new([256][wordsPerPartition]uint64)
+		p.localRows = new([arch.PartitionSTEs][wordsPerPartition]uint64)
+		p.code = make([]int32, size)
+		p.state = make([]nfa.StateID, size)
+		cross[i] = make([][]crossTarget, size)
 	}
 	// Program SRAM rows, start/report masks, and local switches.
 	for s := range n.States {
 		st := &n.States[s]
 		pi, slot := int(pl.PartitionOf[s]), int(pl.SlotOf[s])
-		p := m.parts[pi]
+		p := &m.parts[pi]
+		wi, bit := slot>>6, uint64(1)<<(slot&63)
 		p.state[slot] = nfa.StateID(s)
 		p.code[slot] = st.ReportCode
 		for _, sym := range st.Class.Symbols() {
-			p.rows[sym].Set(slot)
+			p.rows[sym][wi] |= bit
 		}
 		switch st.Start {
 		case nfa.AllInput:
-			p.always.Set(slot)
+			p.always[wi] |= bit
 		case nfa.StartOfData:
-			p.startOfData.Set(slot)
+			p.startOfData[wi] |= bit
 		}
 		if st.Report {
-			p.reports.Set(slot)
+			p.reports[wi] |= bit
 		}
 		for _, v := range st.Out {
 			if pl.PartitionOf[v] == int32(pi) {
-				if p.localOut[slot] == nil {
-					p.localOut[slot] = bitvec.NewVector(size)
-				}
-				p.localOut[slot].Set(int(pl.SlotOf[v]))
+				dst := int(pl.SlotOf[v])
+				p.localRows[slot][dst>>6] |= 1 << (dst & 63)
+				p.hasLocal[wi] |= bit
 			}
 		}
 	}
-	// Program G-switch cross-points.
+	// Collect G-switch cross-points, then freeze them in CSR form with the
+	// per-slot G1/G4 signal contributions precomputed.
 	for _, ce := range pl.Cross {
-		p := m.parts[ce.SrcPartition]
-		p.crossOut[ce.SrcSlot] = append(p.crossOut[ce.SrcSlot], crossTarget{
-			part: int32(ce.DstPartition), slot: int32(ce.DstSlot), via: ce.Via,
-		})
-	}
-	for i, p := range m.parts {
-		p.hasAlways = p.always.Any()
-		p.alwaysCnt = int64(p.always.Count())
-		if p.hasAlways {
-			m.alwaysParts = append(m.alwaysParts, int32(i))
+		cross[ce.SrcPartition][ce.SrcSlot] = append(cross[ce.SrcPartition][ce.SrcSlot],
+			crossTarget{part: int32(ce.DstPartition), slot: int32(ce.DstSlot)})
+		p := &m.parts[ce.SrcPartition]
+		if p.crossG1 == nil {
+			p.crossG1 = make([]int8, size)
+			p.crossG4 = make([]int8, size)
+		}
+		switch ce.Via {
+		case mapper.ViaG1:
+			p.crossG1[ce.SrcSlot] = 1
+		case mapper.ViaG4:
+			if p.crossG4[ce.SrcSlot] < 1 {
+				p.crossG4[ce.SrcSlot] = 1
+			}
+		case mapper.ViaChained:
+			p.crossG4[ce.SrcSlot] = 2
 		}
 	}
-	m.touchedFlag = make([]bool, len(m.parts))
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.crossStart = make([]int32, size+1)
+		for slot, cts := range cross[i] {
+			p.crossStart[slot+1] = p.crossStart[slot] + int32(len(cts))
+			p.crossTargets = append(p.crossTargets, cts...)
+			if len(cts) > 0 {
+				p.hasCross[slot>>6] |= 1 << (slot & 63)
+			}
+		}
+		var anyAlways uint64
+		for w := 0; w < wordsPerPartition; w++ {
+			anyAlways |= p.always[w]
+			p.alwaysCnt += int64(bits.OnesCount64(p.always[w]))
+		}
+		p.hasAlways = anyAlways != 0
+	}
+	m.activeFlag = make([]bool, len(m.parts))
 	m.Reset()
 	return m, nil
+}
+
+// setActive rebuilds curActive (and its membership flags) from the current
+// enabled vectors. Cold path: Reset/Restore only.
+func (m *Machine) setActive() {
+	m.curActive = m.curActive[:0]
+	for i := range m.parts {
+		p := &m.parts[i]
+		var any uint64
+		for w := 0; w < wordsPerPartition; w++ {
+			any |= p.enabled[w]
+		}
+		m.activeFlag[i] = any != 0
+		if any != 0 {
+			m.curActive = append(m.curActive, int32(i))
+		}
+	}
 }
 
 // Reset rewinds the machine to input offset 0 (§2.10's configuration step
 // leaves exactly this state: start states enabled).
 func (m *Machine) Reset() {
 	m.pos = 0
+	m.fifoNextLine = 0
 	m.outBuffered = 0
 	m.res = Result{}
-	m.curActive = m.curActive[:0]
-	for i, p := range m.parts {
-		p.enabled.CopyFrom(p.always)
-		p.enabled.OrWith(p.startOfData)
-		p.next.Reset()
-		if p.enabled.Any() {
-			m.curActive = append(m.curActive, int32(i))
+	for i := range m.parts {
+		p := &m.parts[i]
+		for w := 0; w < wordsPerPartition; w++ {
+			p.enabled[w] = p.always[w] | p.startOfData[w]
+			p.next[w] = 0
 		}
 	}
+	m.setActive()
 }
 
 // Pos returns the offset of the next symbol.
@@ -307,130 +386,266 @@ func (m *Machine) NumPartitions() int { return len(m.parts) }
 
 // Step processes one input symbol.
 func (m *Machine) Step(sym byte) {
-	st := &m.res.Activity
-	st.Cycles++
-	var activeStates, dynamicStates, activeParts, cycG1, cycG4 int64
-
-	// All currently-active and always-start partitions take part in the
-	// end-of-cycle commit; cross activations add more.
-	touched := m.touched[:0]
-	mark := func(pi int32) {
-		if !m.touchedFlag[pi] {
-			m.touchedFlag[pi] = true
-			touched = append(touched, pi)
-		}
-	}
-	for _, pi := range m.curActive {
-		mark(pi)
-	}
-	for _, pi := range m.alwaysParts {
-		mark(pi)
-	}
-
-	for _, pi := range m.curActive {
-		p := m.parts[pi]
-		en := p.enabled.Count()
-		activeStates += int64(en)
-		dynamicStates += int64(en) - p.alwaysCnt
-		activeParts++
-		p.matched.And(p.rows[sym], p.enabled)
-		if !p.matched.Any() {
-			continue
-		}
-		if p.matched.Intersects(p.reports) {
-			m.report(p, int(pi))
-		}
-		var g1, g4 int64
-		p.matched.ForEach(func(slot int) {
-			if lo := p.localOut[slot]; lo != nil {
-				p.next.OrWith(lo)
-			}
-			slotG1 := false
-			var slotG4 int64
-			for _, ct := range p.crossOut[slot] {
-				m.parts[ct.part].next.Set(int(ct.slot))
-				mark(ct.part)
-				switch ct.via {
-				case mapper.ViaG1:
-					slotG1 = true
-				case mapper.ViaG4:
-					if slotG4 < 1 {
-						slotG4 = 1
-					}
-				case mapper.ViaChained:
-					slotG4 = 2
-				}
-			}
-			if slotG1 {
-				g1++
-			}
-			g4 += slotG4
-		})
-		cycG1 += g1
-		cycG4 += g4
-	}
-
-	st.SumG1Crossings += cycG1
-	st.SumG4Crossings += cycG4
-	st.SumActiveStates += activeStates
-	st.SumDynamicStates += dynamicStates
-	st.SumActivePartitions += activeParts
-	if activeStates > st.MaxActiveStates {
-		st.MaxActiveStates = activeStates
-	}
-	if activeParts > st.MaxActivePartitions {
-		st.MaxActivePartitions = activeParts
-	}
-	if m.opts.Observer != nil {
-		m.opts.Observer.ObserveCycle(activeStates, activeParts, cycG1, cycG4)
-	}
-
-	// Commit: enabled' = next ∪ always for every touched partition.
-	m.curActive = m.curActive[:0]
-	for _, pi := range touched {
-		m.touchedFlag[pi] = false
-		p := m.parts[pi]
-		p.enabled.CopyFrom(p.next)
-		p.next.Reset()
-		if p.hasAlways {
-			p.enabled.OrWith(p.always)
-		}
-		if p.enabled.Any() {
-			m.curActive = append(m.curActive, pi)
-		}
-	}
-	m.touched = touched[:0]
-	m.pos++
+	var buf [1]byte
+	buf[0] = sym
+	m.runBatch(buf[:])
 }
 
-// report records matched reporting slots of partition p.
-func (m *Machine) report(p *partition, pi int) {
-	var reported int64
-	m.scratch.And(p.matched, p.reports)
-	m.scratch.ForEach(func(slot int) {
-		m.res.MatchCount++
-		reported++
-		m.outBuffered++
-		if int64(m.outBuffered) > m.res.OutputBufferPeak {
-			m.res.OutputBufferPeak = int64(m.outBuffered)
+// The hot loop is hand-unrolled over the partition's four words; this
+// compile-time assertion trips if the partition geometry ever changes.
+var _ = [1]struct{}{}[wordsPerPartition-4]
+
+// runBatch is the symbol hot loop: one iteration per input byte with all
+// loop-invariant state hoisted into locals, the four-word vector sweeps
+// unrolled into registers, and the activity sums accumulated locally and
+// written back once per batch. It performs no allocations (the scratch
+// lists are reused fields) and, with a nil Observer, no interface calls.
+func (m *Machine) runBatch(input []byte) {
+	if len(m.parts) == 1 {
+		m.runBatch1(input)
+		return
+	}
+	obs := m.opts.Observer
+	parts := m.parts
+	flags := m.activeFlag
+	cur := m.curActive
+	spare := m.curActiveSpare[:0]
+	crossed := m.crossed[:0]
+	pos := m.pos
+
+	st := &m.res.Activity
+	var sumActive, sumDynamic, sumParts, sumG1, sumG4 int64
+	maxActive, maxParts := st.MaxActiveStates, st.MaxActivePartitions
+
+	for _, sym := range input {
+		var activeStates, dynamicStates, activeParts, cycG1, cycG4 int64
+
+		for _, pi := range cur {
+			p := &parts[pi]
+			row := &p.rows[sym]
+			// One sweep computes the enabled count AND the match vector
+			// (activity counting rides the same word pass), entirely in
+			// registers.
+			e0, e1, e2, e3 := p.enabled[0], p.enabled[1], p.enabled[2], p.enabled[3]
+			enCnt := bits.OnesCount64(e0) + bits.OnesCount64(e1) +
+				bits.OnesCount64(e2) + bits.OnesCount64(e3)
+			m0, m1, m2, m3 := row[0]&e0, row[1]&e1, row[2]&e2, row[3]&e3
+			activeStates += int64(enCnt)
+			dynamicStates += int64(enCnt) - p.alwaysCnt
+			activeParts++
+			if m0|m1|m2|m3 == 0 {
+				continue
+			}
+			if m0&p.reports[0]|m1&p.reports[1]|m2&p.reports[2]|m3&p.reports[3] != 0 {
+				m.pos = pos
+				m.report(p, int(pi), [wordsPerPartition]uint64{m0, m1, m2, m3})
+			}
+			var g1, g4 int64
+			mws := [wordsPerPartition]uint64{m0, m1, m2, m3}
+			for w, mw := range mws {
+				if mw == 0 {
+					continue
+				}
+				base := w << 6
+				for lm := mw & p.hasLocal[w]; lm != 0; lm &= lm - 1 {
+					lr := &p.localRows[base+bits.TrailingZeros64(lm)]
+					p.next[0] |= lr[0]
+					p.next[1] |= lr[1]
+					p.next[2] |= lr[2]
+					p.next[3] |= lr[3]
+				}
+				for cm := mw & p.hasCross[w]; cm != 0; cm &= cm - 1 {
+					slot := base + bits.TrailingZeros64(cm)
+					g1 += int64(p.crossG1[slot])
+					g4 += int64(p.crossG4[slot])
+					for _, ct := range p.crossTargets[p.crossStart[slot]:p.crossStart[slot+1]] {
+						parts[ct.part].next[ct.slot>>6] |= 1 << uint(ct.slot&63)
+						if !flags[ct.part] {
+							flags[ct.part] = true
+							crossed = append(crossed, ct.part)
+						}
+					}
+				}
+			}
+			cycG1 += g1
+			cycG4 += g4
 		}
-		if m.outBuffered >= OutputBufferEntries {
-			m.res.OutputBufferInterrupts++
-			m.outBuffered = 0
-			if m.opts.Observer != nil {
-				m.opts.Observer.ObserveOverflow()
+
+		sumG1 += cycG1
+		sumG4 += cycG4
+		sumActive += activeStates
+		sumDynamic += dynamicStates
+		sumParts += activeParts
+		if activeStates > maxActive {
+			maxActive = activeStates
+		}
+		if activeParts > maxParts {
+			maxParts = activeParts
+		}
+		if obs != nil {
+			obs.ObserveCycle(activeStates, activeParts, cycG1, cycG4)
+		}
+
+		// Commit: enabled' = next ∪ always for every active or newly
+		// cross-activated partition (always is all-zero in partitions
+		// without all-input starts, so the OR is unconditional). Members
+		// of cur that go quiet drop their membership flag; cross-activated
+		// partitions always survive (their next vector is non-zero).
+		next := spare
+		for _, pi := range cur {
+			p := &parts[pi]
+			e0 := p.next[0] | p.always[0]
+			e1 := p.next[1] | p.always[1]
+			e2 := p.next[2] | p.always[2]
+			e3 := p.next[3] | p.always[3]
+			p.enabled[0], p.enabled[1], p.enabled[2], p.enabled[3] = e0, e1, e2, e3
+			p.next[0], p.next[1], p.next[2], p.next[3] = 0, 0, 0, 0
+			if e0|e1|e2|e3 != 0 {
+				next = append(next, pi)
+			} else {
+				flags[pi] = false
 			}
 		}
-		if m.opts.CollectMatches &&
-			(m.opts.MatchLimit == 0 || len(m.res.Matches) < m.opts.MatchLimit) {
-			m.res.Matches = append(m.res.Matches, Match{
-				Offset:    m.pos,
-				Code:      p.code[slot],
-				State:     p.state[slot],
-				Partition: pi,
-			})
+		for _, pi := range crossed {
+			p := &parts[pi]
+			p.enabled[0] = p.next[0] | p.always[0]
+			p.enabled[1] = p.next[1] | p.always[1]
+			p.enabled[2] = p.next[2] | p.always[2]
+			p.enabled[3] = p.next[3] | p.always[3]
+			p.next[0], p.next[1], p.next[2], p.next[3] = 0, 0, 0, 0
+			next = append(next, pi)
 		}
-	})
+		crossed = crossed[:0]
+		spare = cur[:0]
+		cur = next
+		pos++
+	}
+
+	m.pos = pos
+	m.curActive = cur
+	m.curActiveSpare = spare
+	m.crossed = crossed
+	st.Cycles += int64(len(input))
+	st.SumActiveStates += sumActive
+	st.SumDynamicStates += sumDynamic
+	st.SumActivePartitions += sumParts
+	st.SumG1Crossings += sumG1
+	st.SumG4Crossings += sumG4
+	st.MaxActiveStates = maxActive
+	st.MaxActivePartitions = maxParts
+}
+
+// runBatch1 is the single-partition specialization of the hot loop. A
+// single-partition machine has no G-switch crossings (Verify rejects
+// same-partition cross edges), so the entire architectural state — the
+// four enabled words — stays in registers across the whole batch, and
+// the commit phase is register renaming instead of loads and stores.
+func (m *Machine) runBatch1(input []byte) {
+	p := &m.parts[0]
+	obs := m.opts.Observer
+	pos := m.pos
+
+	st := &m.res.Activity
+	var sumActive, sumDynamic, sumParts int64
+	maxActive, maxParts := st.MaxActiveStates, st.MaxActivePartitions
+
+	e0, e1, e2, e3 := p.enabled[0], p.enabled[1], p.enabled[2], p.enabled[3]
+	a0, a1, a2, a3 := p.always[0], p.always[1], p.always[2], p.always[3]
+	r0, r1, r2, r3 := p.reports[0], p.reports[1], p.reports[2], p.reports[3]
+	alwaysCnt := p.alwaysCnt
+
+	for i, sym := range input {
+		if e0|e1|e2|e3 == 0 {
+			// A partition without always-on starts that goes quiet is dead
+			// for the rest of the stream: no matches, zero activity.
+			if obs != nil {
+				for range input[i:] {
+					obs.ObserveCycle(0, 0, 0, 0)
+				}
+			}
+			pos += int64(len(input) - i)
+			break
+		}
+		row := &p.rows[sym]
+		enCnt := int64(bits.OnesCount64(e0) + bits.OnesCount64(e1) +
+			bits.OnesCount64(e2) + bits.OnesCount64(e3))
+		m0, m1, m2, m3 := row[0]&e0, row[1]&e1, row[2]&e2, row[3]&e3
+		sumActive += enCnt
+		sumDynamic += enCnt - alwaysCnt
+		sumParts++
+		if enCnt > maxActive {
+			maxActive = enCnt
+		}
+		var n0, n1, n2, n3 uint64
+		if m0|m1|m2|m3 != 0 {
+			if m0&r0|m1&r1|m2&r2|m3&r3 != 0 {
+				m.pos = pos
+				m.report(p, 0, [wordsPerPartition]uint64{m0, m1, m2, m3})
+			}
+			mws := [wordsPerPartition]uint64{m0, m1, m2, m3}
+			for w, mw := range mws {
+				for lm := mw & p.hasLocal[w]; lm != 0; lm &= lm - 1 {
+					lr := &p.localRows[w<<6+bits.TrailingZeros64(lm)]
+					n0 |= lr[0]
+					n1 |= lr[1]
+					n2 |= lr[2]
+					n3 |= lr[3]
+				}
+			}
+		}
+		if obs != nil {
+			obs.ObserveCycle(enCnt, 1, 0, 0)
+		}
+		e0, e1, e2, e3 = n0|a0, n1|a1, n2|a2, n3|a3
+		pos++
+	}
+
+	if maxParts < 1 && sumParts > 0 {
+		maxParts = 1
+	}
+	p.enabled[0], p.enabled[1], p.enabled[2], p.enabled[3] = e0, e1, e2, e3
+	m.pos = pos
+	st.Cycles += int64(len(input))
+	st.SumActiveStates += sumActive
+	st.SumDynamicStates += sumDynamic
+	st.SumActivePartitions += sumParts
+	st.MaxActiveStates = maxActive
+	st.MaxActivePartitions = maxParts
+	m.setActive()
+}
+
+// report records matched reporting slots of partition p. The caller
+// passes the cycle's match words (they live in registers in the hot
+// loop and are not stored anywhere else).
+func (m *Machine) report(p *partition, pi int, matched [wordsPerPartition]uint64) {
+	var reported int64
+	for w := 0; w < wordsPerPartition; w++ {
+		for rm := matched[w] & p.reports[w]; rm != 0; rm &= rm - 1 {
+			slot := w<<6 + bits.TrailingZeros64(rm)
+			m.res.MatchCount++
+			reported++
+			m.outBuffered++
+			if int64(m.outBuffered) > m.res.OutputBufferPeak {
+				m.res.OutputBufferPeak = int64(m.outBuffered)
+			}
+			if m.outBuffered >= OutputBufferEntries {
+				m.res.OutputBufferInterrupts++
+				m.outBuffered = 0
+				if m.opts.Observer != nil {
+					m.opts.Observer.ObserveOverflow()
+				}
+			}
+			if m.opts.CollectMatches &&
+				(m.opts.MatchLimit == 0 || len(m.res.Matches) < m.opts.MatchLimit) {
+				m.res.Matches = append(m.res.Matches, Match{
+					Offset:    m.pos,
+					Code:      p.code[slot],
+					State:     p.state[slot],
+					Partition: pi,
+				})
+			}
+		}
+	}
 	if m.opts.Observer != nil && reported > 0 {
 		m.opts.Observer.ObserveMatches(reported)
 	}
@@ -440,14 +655,24 @@ func (m *Machine) report(p *partition, pi int) {
 // result. The machine keeps its stream position, so consecutive Runs
 // continue the stream; call Reset to start over.
 func (m *Machine) Run(input []byte) *Result {
-	m.res.FIFORefills += int64(arch.CeilDiv(len(input), cacheLineBytes))
+	if len(input) > 0 {
+		// Refill accounting by absolute stream position: count each
+		// 64-byte line once however the stream is chunked.
+		first := m.pos / cacheLineBytes
+		last := (m.pos + int64(len(input)) - 1) / cacheLineBytes
+		if first < m.fifoNextLine {
+			first = m.fifoNextLine
+		}
+		if last >= first {
+			m.res.FIFORefills += last - first + 1
+			m.fifoNextLine = last + 1
+		}
+	}
 	var start time.Time
 	if m.opts.Observer != nil {
 		start = time.Now()
 	}
-	for _, b := range input {
-		m.Step(b)
-	}
+	m.runBatch(input)
 	if m.opts.Observer != nil {
 		m.opts.Observer.ObserveRun(int64(len(input)), time.Since(start).Seconds(),
 			m.res.OutputBufferPeak)

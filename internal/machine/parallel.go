@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"errors"
+	"sync"
+)
+
+// DefaultShardOverlap is the speculative warm-up prefix, in symbols, that
+// each non-first shard re-scans before its own range. A shard other than
+// the first cannot know the true active-state vector at its start offset
+// without running everything before it, so it speculates: start from the
+// idle state (only always-on start states enabled) a little early and let
+// the automaton converge while scanning the warm-up bytes. Runs whose
+// active state has longer memory than the overlap (e.g. `a.*b` holding a
+// bit set indefinitely) are caught by the repair pass in RunSharded, so
+// the overlap length only affects speed, never correctness.
+const DefaultShardOverlap = 2048
+
+// minShardBytes is the smallest shard worth the warm-up cost; inputs
+// shorter than two of these run sequentially.
+const minShardBytes = 4 * DefaultShardOverlap
+
+// ShardsFor returns how many of the requested shards RunSharded would
+// actually use for an input of the given length.
+func ShardsFor(requested, inputLen int) int {
+	n := requested
+	if max := inputLen / minShardBytes; n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RunSharded resets the machines and scans input from offset 0, split into
+// len(ms) contiguous shards executed concurrently — the software analogue
+// of the paper's §3.4 input-stream replication across C-BOXes, with the
+// stream divided instead of duplicated. All machines must share one
+// placement. The returned Result is bit-identical to a sequential
+// ms[0].Reset(); ms[0].Run(input):
+//
+//   - Shard i>0 speculatively warms up from the idle state over the
+//     DefaultShardOverlap bytes preceding its range, then records the
+//     active-state vector it assumed at its start offset.
+//   - A sequential repair pass compares each shard's assumed start state
+//     with its predecessor's actual end state and re-runs the shard from
+//     the true state on mismatch. State evolution depends only on the
+//     enabled vectors and the input bytes, so matching vectors guarantee
+//     identical per-cycle behavior.
+//   - Matches concatenate in shard order (= ascending offsets = sequential
+//     order), activity statistics sum (peaks take the max), and the FIFO
+//     and output-buffer counters are recomputed globally: refills are
+//     ceil(len/64) for a contiguous stream, and the 64-deep output buffer's
+//     interrupt count and high-water mark are pure functions of the total
+//     match count.
+//
+// Per-cycle Observer telemetry is not delivered on this path (shard
+// machines would observe speculative warm-up cycles); use the sequential
+// Run when cycle-level observation matters.
+func RunSharded(ms []*Machine, input []byte) (*Result, error) {
+	if len(ms) == 0 {
+		return nil, errors.New("machine: RunSharded needs at least one machine")
+	}
+	for _, m := range ms[1:] {
+		if m.pl != ms[0].pl {
+			return nil, errors.New("machine: RunSharded machines must share one placement")
+		}
+	}
+	n := ShardsFor(len(ms), len(input))
+	if n <= 1 {
+		ms[0].Reset()
+		return ms[0].Run(input), nil
+	}
+
+	bounds := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		bounds[i] = i * len(input) / n
+	}
+	results := make([]Result, n)
+	assumed := make([][]uint64, n) // speculated enabled state at shard start
+	endSt := make([][]uint64, n)   // enabled state at shard end
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := ms[i]
+			if i == 0 {
+				m.Reset()
+			} else {
+				warm := bounds[i] - DefaultShardOverlap
+				if warm < 0 {
+					warm = 0
+				}
+				m.resumeIdle(int64(warm))
+				m.runBatch(input[warm:bounds[i]])
+				m.clearAccum()
+			}
+			assumed[i] = m.captureEnabled()
+			m.runBatch(input[bounds[i]:bounds[i+1]])
+			results[i] = m.takeResult()
+			endSt[i] = m.captureEnabled()
+		}(i)
+	}
+	wg.Wait()
+
+	// Repair pass: wherever speculation missed (including misses cascading
+	// from an earlier repair), re-run the shard from the true predecessor
+	// end state. Worst case this re-does each shard once — bounded at ~2×
+	// the sequential work — and it is what makes the result exact.
+	for i := 1; i < n; i++ {
+		if wordsEqual(assumed[i], endSt[i-1]) {
+			continue
+		}
+		m := ms[i]
+		m.resumeAt(int64(bounds[i]), endSt[i-1])
+		m.runBatch(input[bounds[i]:bounds[i+1]])
+		results[i] = m.takeResult()
+		endSt[i] = m.captureEnabled()
+	}
+
+	out := &Result{}
+	for i := range results {
+		out.MatchCount += results[i].MatchCount
+		out.Matches = append(out.Matches, results[i].Matches...)
+		out.Activity.merge(&results[i].Activity)
+	}
+	if lim := ms[0].opts.MatchLimit; lim > 0 && len(out.Matches) > lim {
+		out.Matches = out.Matches[:lim]
+	}
+	if len(input) > 0 {
+		out.FIFORefills = (int64(len(input)) + cacheLineBytes - 1) / cacheLineBytes
+	}
+	out.OutputBufferInterrupts = out.MatchCount / OutputBufferEntries
+	out.OutputBufferPeak = out.MatchCount
+	if out.OutputBufferPeak > OutputBufferEntries {
+		out.OutputBufferPeak = OutputBufferEntries
+	}
+	return out, nil
+}
+
+// captureEnabled flattens the partitions' enabled vectors into one slice
+// (len(parts)*wordsPerPartition words).
+func (m *Machine) captureEnabled() []uint64 {
+	out := make([]uint64, len(m.parts)*wordsPerPartition)
+	for i := range m.parts {
+		copy(out[i*wordsPerPartition:], m.parts[i].enabled[:])
+	}
+	return out
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resumeIdle positions the machine at pos in the idle state: only the
+// always-on start states enabled (startOfData states matter only at
+// offset 0, which Reset handles).
+func (m *Machine) resumeIdle(pos int64) {
+	m.pos = pos
+	m.fifoNextLine = 0
+	m.outBuffered = 0
+	m.res = Result{}
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.enabled = p.always
+		p.next = [wordsPerPartition]uint64{}
+	}
+	m.setActive()
+}
+
+// resumeAt positions the machine at pos with the given flattened enabled
+// vectors (as returned by captureEnabled) and clears all accumulators.
+func (m *Machine) resumeAt(pos int64, enabled []uint64) {
+	m.pos = pos
+	m.fifoNextLine = 0
+	m.outBuffered = 0
+	m.res = Result{}
+	for i := range m.parts {
+		p := &m.parts[i]
+		copy(p.enabled[:], enabled[i*wordsPerPartition:(i+1)*wordsPerPartition])
+		p.next = [wordsPerPartition]uint64{}
+	}
+	m.setActive()
+}
+
+// clearAccum discards accumulated results, matches and buffer occupancy
+// without touching the architectural state (used to drop warm-up effects).
+func (m *Machine) clearAccum() {
+	m.res = Result{}
+	m.outBuffered = 0
+}
+
+// takeResult moves the accumulated result out of the machine.
+func (m *Machine) takeResult() Result {
+	r := m.res
+	m.res = Result{}
+	return r
+}

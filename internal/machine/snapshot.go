@@ -29,8 +29,8 @@ type Snapshot struct {
 func (m *Machine) Snapshot() *Snapshot {
 	s := &Snapshot{Pos: m.pos, OutBuffered: m.outBuffered}
 	s.Enabled = make([][]uint64, len(m.parts))
-	for i, p := range m.parts {
-		s.Enabled[i] = append([]uint64(nil), p.enabled.Words()...)
+	for i := range m.parts {
+		s.Enabled[i] = append([]uint64(nil), m.parts[i].enabled[:]...)
 	}
 	return s
 }
@@ -42,22 +42,27 @@ func (m *Machine) Restore(s *Snapshot) error {
 		return fmt.Errorf("machine: snapshot has %d partitions, machine has %d", len(s.Enabled), len(m.parts))
 	}
 	for i, words := range s.Enabled {
-		if len(words) != len(m.parts[i].enabled.Words()) {
+		if len(words) != wordsPerPartition {
 			return fmt.Errorf("machine: snapshot partition %d has %d words, want %d",
-				i, len(words), len(m.parts[i].enabled.Words()))
+				i, len(words), wordsPerPartition)
 		}
 	}
 	m.pos = s.Pos
+	// A resumed contiguous stream has already fetched every line before
+	// Pos, including a partially-consumed one.
+	m.fifoNextLine = (s.Pos + cacheLineBytes - 1) / cacheLineBytes
 	m.outBuffered = s.OutBuffered
 	m.res = Result{}
-	m.curActive = m.curActive[:0]
-	for i, p := range m.parts {
-		copy(p.enabled.Words(), s.Enabled[i])
-		p.next.Reset()
-		if p.enabled.Any() {
-			m.curActive = append(m.curActive, int32(i))
+	for i := range m.parts {
+		p := &m.parts[i]
+		for w := 0; w < wordsPerPartition; w++ {
+			// Re-assert the always-on start mask: the hardware's all-input
+			// states are enabled in every architectural state.
+			p.enabled[w] = s.Enabled[i][w] | p.always[w]
+			p.next[w] = 0
 		}
 	}
+	m.setActive()
 	return nil
 }
 
