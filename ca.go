@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"cacheautomaton/internal/anml"
@@ -80,9 +81,12 @@ type Options struct {
 	// unless you need state-to-pattern attribution).
 	KeepPerPatternStates bool
 	// RunObserver, when non-nil, receives run telemetry from every machine
-	// this automaton creates (Run, Count, and Streams). The hook is
+	// this automaton creates (Run, Count, Leases and Streams). The hook is
 	// nil-checked on the symbol hot path, so leaving it nil costs one
-	// branch per cycle and no allocation.
+	// branch per cycle and no allocation. Because an Automaton may be used
+	// from many goroutines (each leasing its own machine), the observer's
+	// methods must be safe for concurrent use; telemetry.MachineCollector
+	// is (all its instruments are atomic).
 	RunObserver RunObserver
 }
 
@@ -133,18 +137,34 @@ type Stats struct {
 }
 
 // Automaton is a compiled, mapped, executable Cache Automaton.
+//
+// Concurrency contract: an Automaton is safe for concurrent use by
+// multiple goroutines. The compiled artifacts (design, NFA, placement)
+// are immutable after compilation; every execution entry point leases a
+// private simulator machine from an internal pool for the duration of the
+// call, so concurrent Run/RunParallel/Lease/Stream callers never share
+// mutable machine state. Count is the one serialized path: it reuses a
+// single cached non-collecting machine under a mutex, so concurrent Count
+// calls execute one at a time (deterministically — they queue, they do
+// not race). Streams and Leases are themselves single-owner: one Stream
+// or Lease must not be used from two goroutines at once, but any number
+// of them may run side by side.
 type Automaton struct {
 	design    *arch.Design
 	nfa       *nfa.NFA
 	placement *mapper.Placement
-	machine   *machine.Machine
 	report    *telemetry.CompileReport
 	observer  RunObserver
-	// countMachine is the cached non-collecting machine behind Count.
+	// runPool leases the collecting machines behind Run, Lease and Stream.
+	runPool *machine.Pool
+	// shardPool leases the replicated machines behind RunParallel
+	// (collecting, no observer: RunSharded delivers no per-cycle
+	// telemetry).
+	shardPool *machine.Pool
+	// countMachine is the cached non-collecting machine behind Count,
+	// guarded by countMu.
+	countMu      sync.Mutex
 	countMachine *machine.Machine
-	// pool holds the replicated machines behind RunParallel, grown on
-	// demand and reused across calls.
-	pool []*machine.Machine
 }
 
 // CompileRegex compiles a rule set (one pattern per entry; matches report
@@ -197,19 +217,24 @@ func fromNFA(n *nfa.NFA, opts Options, tr *telemetry.Trace) (*Automaton, error) 
 		return nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
 	sb := tr.StartPhase("machine.build")
-	m, err := machine.New(pl, machine.Options{CollectMatches: true, Observer: opts.RunObserver})
+	runPool := machine.NewPool(pl, machine.Options{CollectMatches: true, Observer: opts.RunObserver}, 0)
+	// Build (and pool) one machine eagerly so placement problems surface at
+	// compile time, not on the first Run.
+	m, err := runPool.Get()
 	if err != nil {
 		return nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
+	runPool.Put(m)
 	sb.SetAttr("partitions", int64(pl.NumPartitions()))
 	sb.End()
 	return &Automaton{
 		design:    design,
 		nfa:       pl.NFA,
 		placement: pl,
-		machine:   m,
 		report:    tr.Report(),
 		observer:  opts.RunObserver,
+		runPool:   runPool,
+		shardPool: machine.NewPool(pl, machine.Options{CollectMatches: true}, 0),
 	}, nil
 }
 
@@ -292,16 +317,66 @@ func (a *Automaton) statsFrom(res *machine.Result) *Stats {
 	}
 }
 
-// Run resets the automaton, processes input, and returns the matches with
-// the modeled hardware statistics.
-func (a *Automaton) Run(input []byte) ([]Match, *Stats, error) {
-	a.machine.Reset()
-	res := a.machine.Run(input)
-	matches := make([]Match, len(res.Matches))
-	for i, m := range res.Matches {
+// matchesFrom converts machine report events to the exported form.
+func matchesFrom(ms []machine.Match) []Match {
+	matches := make([]Match, len(ms))
+	for i, m := range ms {
 		matches[i] = Match{Offset: m.Offset, Pattern: int(m.Code)}
 	}
-	return matches, a.statsFrom(res), nil
+	return matches
+}
+
+// Run processes input from offset 0 and returns the matches with the
+// modeled hardware statistics. Each call leases a private machine, so Run
+// is safe to call from any number of goroutines concurrently.
+func (a *Automaton) Run(input []byte) ([]Match, *Stats, error) {
+	l, err := a.Lease()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer l.Release()
+	return l.Run(input)
+}
+
+// Lease checks a private machine out of the automaton's pool for repeated
+// one-shot runs without per-call pool traffic (a server handling a burst
+// of requests on one connection, for example). The lease is single-owner:
+// use it from one goroutine, and Release it when done — an unreleased
+// lease is not an error, but its machine is garbage instead of being
+// recycled. Any number of leases may be live at once.
+func (a *Automaton) Lease() (*Lease, error) {
+	m, err := a.runPool.Get()
+	if err != nil {
+		return nil, fmt.Errorf("cacheautomaton: %w", err)
+	}
+	return &Lease{a: a, m: m}, nil
+}
+
+// Lease is an exclusively-held executable instance of an Automaton: the
+// per-session machine checkout behind Run, Stream and the serving layer.
+type Lease struct {
+	a *Automaton
+	m *machine.Machine
+}
+
+// Run resets the leased machine, processes input from offset 0, and
+// returns the matches with the modeled hardware statistics.
+func (l *Lease) Run(input []byte) ([]Match, *Stats, error) {
+	if l.m == nil {
+		return nil, nil, fmt.Errorf("cacheautomaton: use of released lease")
+	}
+	l.m.Reset()
+	res := l.m.Run(input)
+	return matchesFrom(res.Matches), l.a.statsFrom(res), nil
+}
+
+// Release returns the leased machine to the automaton's pool. Release is
+// idempotent; the lease is unusable afterwards.
+func (l *Lease) Release() {
+	if l.m != nil {
+		l.a.runPool.Put(l.m)
+		l.m = nil
+	}
 }
 
 // RunParallel resets the automaton and scans input with up to shards
@@ -316,6 +391,9 @@ func (a *Automaton) Run(input []byte) ([]Match, *Stats, error) {
 // Per-cycle RunObserver telemetry is not delivered on the parallel path
 // (the shard machines would observe speculative warm-up cycles); the
 // ObserveRun end-of-run summary still fires once.
+//
+// RunParallel leases its shard machines per call, so concurrent
+// RunParallel (and mixed Run/RunParallel) callers are safe.
 func (a *Automaton) RunParallel(input []byte, shards int) ([]Match, *Stats, error) {
 	if shards < 1 {
 		shards = runtime.GOMAXPROCS(0)
@@ -328,43 +406,30 @@ func (a *Automaton) RunParallel(input []byte, shards int) ([]Match, *Stats, erro
 	if a.observer != nil {
 		start = time.Now()
 	}
-	pool, err := a.ensurePool(shards)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := machine.RunSharded(pool, input)
+	pool, err := a.shardPool.GetN(shards)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
-	matches := make([]Match, len(res.Matches))
-	for i, m := range res.Matches {
-		matches[i] = Match{Offset: m.Offset, Pattern: int(m.Code)}
+	defer a.shardPool.PutAll(pool)
+	res, err := machine.RunSharded(pool, input)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
 	if a.observer != nil {
 		a.observer.ObserveRun(int64(len(input)), time.Since(start).Seconds(),
 			res.OutputBufferPeak)
 	}
-	return matches, a.statsFrom(res), nil
-}
-
-// ensurePool grows the RunParallel machine pool to n replicated machines.
-// Pool machines collect matches but carry no observer (RunSharded does not
-// deliver per-cycle telemetry).
-func (a *Automaton) ensurePool(n int) ([]*machine.Machine, error) {
-	for len(a.pool) < n {
-		m, err := machine.New(a.placement, machine.Options{CollectMatches: true})
-		if err != nil {
-			return nil, fmt.Errorf("cacheautomaton: %w", err)
-		}
-		a.pool = append(a.pool, m)
-	}
-	return a.pool[:n], nil
+	return matchesFrom(res.Matches), a.statsFrom(res), nil
 }
 
 // Count processes input without collecting match records (for long
 // streams), returning only statistics. The non-collecting machine is built
-// once and reused across calls.
+// once and reused across calls under a mutex, so concurrent Count calls
+// serialize (safely and deterministically) rather than each paying for a
+// private machine.
 func (a *Automaton) Count(input []byte) (*Stats, error) {
+	a.countMu.Lock()
+	defer a.countMu.Unlock()
 	if a.countMachine == nil {
 		m, err := machine.New(a.placement, machine.Options{Observer: a.observer})
 		if err != nil {
@@ -434,6 +499,10 @@ func CompileFuzzy(patterns []string, maxDist int, opts Options) (*Automaton, err
 // the architectural state (the paper's §2.9 suspend model: "recording the
 // number of input symbols processed and the active state vector to
 // memory").
+//
+// A Stream holds a machine leased from the automaton's pool; Close
+// returns it for recycling. Streams are single-owner (one goroutine at a
+// time), but any number of Streams on one Automaton may run concurrently.
 type Stream struct {
 	a *Automaton
 	m *machine.Machine
@@ -441,7 +510,7 @@ type Stream struct {
 
 // Stream opens an independent scanner positioned at offset 0.
 func (a *Automaton) Stream() (*Stream, error) {
-	m, err := machine.New(a.placement, machine.Options{CollectMatches: true, Observer: a.observer})
+	m, err := a.runPool.Get()
 	if err != nil {
 		return nil, err
 	}
@@ -451,8 +520,12 @@ func (a *Automaton) Stream() (*Stream, error) {
 // Feed consumes the next chunk and returns the matches it produced
 // (offsets are absolute within the whole stream). Delivered matches are
 // drained from the underlying machine, so a long-lived stream retains only
-// the matches of the chunk in flight, not every match ever seen.
+// the matches of the chunk in flight, not every match ever seen. Feeding a
+// closed stream returns nil.
 func (s *Stream) Feed(chunk []byte) []Match {
+	if s.m == nil {
+		return nil
+	}
 	s.m.Run(chunk)
 	fresh := s.m.DrainMatches()
 	out := make([]Match, 0, len(fresh))
@@ -462,13 +535,31 @@ func (s *Stream) Feed(chunk []byte) []Match {
 	return out
 }
 
-// Pos returns the absolute offset of the next symbol.
-func (s *Stream) Pos() int64 { return s.m.Pos() }
+// Pos returns the absolute offset of the next symbol (0 after Close).
+func (s *Stream) Pos() int64 {
+	if s.m == nil {
+		return 0
+	}
+	return s.m.Pos()
+}
 
-// Suspend serializes the stream's architectural state.
+// Suspend serializes the stream's architectural state. The stream remains
+// usable; a session-migration handoff is Suspend followed by Close.
 func (s *Stream) Suspend(w io.Writer) error {
+	if s.m == nil {
+		return fmt.Errorf("cacheautomaton: suspend of closed stream")
+	}
 	_, err := s.m.Snapshot().WriteTo(w)
 	return err
+}
+
+// Close returns the stream's machine to the automaton's pool. Close is
+// idempotent; the stream is unusable afterwards.
+func (s *Stream) Close() {
+	if s.m != nil {
+		s.a.runPool.Put(s.m)
+		s.m = nil
+	}
 }
 
 // ResumeStream reopens a stream from a Suspend-serialized state. The

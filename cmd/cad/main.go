@@ -1,0 +1,186 @@
+// Command cad is the Cache Automaton match-serving daemon: it loads rule
+// sets, compiles them onto the simulated in-cache automaton, and serves
+// concurrent matching over HTTP/JSON and an optional line-framed TCP
+// protocol.
+//
+// Usage:
+//
+//	cad -http :8480
+//	cad -http :8480 -rules snort.rules -format snort -ruleset ids
+//	cad -http :8480 -tcp :8481 -metrics-addr :8482 -workers 8
+//
+// The HTTP API (see internal/server) compiles rule sets with
+// PUT /rulesets/{name}, scans with POST /match, and streams with
+// POST /sessions + /sessions/{id}/feed; /sessions/{id}/suspend serializes
+// a session's architectural state for migration to another cad. With
+// -metrics-addr, a telemetry endpoint serves /metrics, /metrics.json,
+// /debug/vars and /debug/pprof. On SIGINT/SIGTERM cad drains gracefully:
+// in-flight requests finish (bounded by -drain-timeout), then sessions
+// close and their leased machines are released.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cacheautomaton/internal/server"
+	"cacheautomaton/internal/telemetry"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// addrs reports the listeners run actually bound (useful with ":0").
+type addrs struct {
+	HTTP, TCP, Metrics string
+}
+
+// run is the testable body of cad: it serves until ctx is canceled, then
+// drains. ready (optional) is called once with the bound addresses.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready func(addrs)) int {
+	fs := flag.NewFlagSet("cad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	httpAddr := fs.String("http", "127.0.0.1:8480", "serve the HTTP/JSON API on this address")
+	tcpAddr := fs.String("tcp", "", "also serve the line-framed TCP protocol on this address")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	rules := fs.String("rules", "", "preload a rule file into ruleset -ruleset")
+	format := fs.String("format", "regex", "preload format: regex, anml, snort or clamav")
+	rulesetName := fs.String("ruleset", "default", "name for the preloaded rule set")
+	design := fs.String("design", "perf", "preload design: perf (CA_P) or space (CA_S)")
+	caseIns := fs.Bool("i", false, "preload case-insensitively")
+	workers := fs.Int("workers", 0, "bound on concurrent one-shot matches (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "bound on queued matches before shedding 503s (0 = 4x workers)")
+	queueWait := fs.Duration("queue-wait", 2*time.Second, "max wait for a match worker slot")
+	maxBody := fs.Int64("max-body", 8<<20, "request body and payload cap in bytes")
+	maxSessions := fs.Int("max-sessions", 1024, "bound on open streaming sessions")
+	sessionIdle := fs.Duration("session-idle", 5*time.Minute, "reap sessions idle this long (<0 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight work on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s := server.New(server.Config{
+		MaxBodyBytes: *maxBody,
+		MatchWorkers: *workers,
+		QueueDepth:   *queue,
+		QueueWait:    *queueWait,
+		MaxSessions:  *maxSessions,
+		SessionIdle:  *sessionIdle,
+	})
+
+	if *rules != "" {
+		info, err := preload(s, *rules, *format, *rulesetName, *design, *caseIns)
+		if err != nil {
+			fmt.Fprintf(stderr, "cad: preload %s: %v\n", *rules, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "cad: ruleset %q: %d patterns, %d states, %d partitions, %.2f MB cache, compiled in %.1f ms\n",
+			info.Name, info.Patterns, info.States, info.Partitions, info.CacheMB, info.CompileMS)
+	}
+
+	var bound addrs
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintf(stderr, "cad: listen %s: %v\n", *httpAddr, err)
+		return 1
+	}
+	bound.HTTP = ln.Addr().String()
+	httpSrv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "cad: HTTP API on %s\n", bound.HTTP)
+
+	var tcpSrv *server.TCPServer
+	if *tcpAddr != "" {
+		tln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "cad: listen %s: %v\n", *tcpAddr, err)
+			httpSrv.Close()
+			return 1
+		}
+		tcpSrv = s.ServeTCP(tln)
+		bound.TCP = tcpSrv.Addr().String()
+		fmt.Fprintf(stdout, "cad: TCP line protocol on %s\n", bound.TCP)
+	}
+
+	if *metricsAddr != "" {
+		ts, err := telemetry.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "cad: metrics endpoint: %v\n", err)
+			httpSrv.Close()
+			return 1
+		}
+		defer ts.Close()
+		bound.Metrics = ts.Addr()
+		fmt.Fprintf(stdout, "cad: telemetry on http://%s/metrics\n", bound.Metrics)
+	}
+
+	if ready != nil {
+		ready(bound)
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-httpErr:
+		fmt.Fprintf(stderr, "cad: http: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "cad: draining (timeout %v)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "cad: http drain: %v\n", err)
+		code = 1
+	}
+	if tcpSrv != nil {
+		if err := tcpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(stderr, "cad: tcp drain: %v\n", err)
+			code = 1
+		}
+	}
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "cad: session drain: %v\n", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "cad: drained")
+	return code
+}
+
+// preload compiles a rule file into the server before it starts serving.
+func preload(s *server.Server, path, format, name, design string, caseIns bool) (*server.RulesetInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	req := server.CompileRequest{Format: format, CaseInsensitive: caseIns}
+	if strings.HasPrefix(design, "s") {
+		req.Design = "space"
+	}
+	if format == "regex" {
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			req.Patterns = append(req.Patterns, line)
+		}
+	} else {
+		req.Text = string(data)
+	}
+	return s.Compile(name, req)
+}

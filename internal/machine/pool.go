@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"sync"
+
+	"cacheautomaton/internal/mapper"
+)
+
+// PoolStats is a snapshot of a Pool's checkout accounting.
+type PoolStats struct {
+	// Built is how many machines the pool has constructed in total.
+	Built int64
+	// Gets and Puts count checkouts and returns.
+	Gets, Puts int64
+	// Hits counts Gets served from the free list (Gets - Hits machines
+	// were built on demand).
+	Hits int64
+	// Idle is the current free-list length.
+	Idle int
+}
+
+// Pool is a concurrency-safe checkout pool of replicated machines over one
+// placement. It backs the facade's machine leasing: every Get hands the
+// caller an exclusively-owned, freshly Reset machine, so concurrent
+// borrowers never share mutable simulator state. Machines are built lazily
+// on demand and recycled through Put up to a bounded idle depth (returns
+// beyond the bound are dropped for the garbage collector), which caps the
+// pool's steady-state memory at maxIdle partitionful of SRAM arrays while
+// letting bursts grow arbitrarily wide.
+type Pool struct {
+	pl   *mapper.Placement
+	opts Options
+
+	mu    sync.Mutex
+	free  []*Machine
+	stats PoolStats
+
+	maxIdle int
+}
+
+// DefaultPoolIdle is the default bound on a Pool's free list.
+const DefaultPoolIdle = 64
+
+// NewPool returns an empty pool building machines from pl with opts.
+// maxIdle bounds the free list; maxIdle <= 0 uses DefaultPoolIdle.
+func NewPool(pl *mapper.Placement, opts Options, maxIdle int) *Pool {
+	if maxIdle <= 0 {
+		maxIdle = DefaultPoolIdle
+	}
+	return &Pool{pl: pl, opts: opts, maxIdle: maxIdle}
+}
+
+// Get checks a machine out of the pool, building one if the free list is
+// empty. The machine comes back Reset (offset 0, start states enabled) and
+// is exclusively the caller's until Put.
+func (p *Pool) Get() (*Machine, error) {
+	p.mu.Lock()
+	p.stats.Gets++
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.stats.Hits++
+		p.mu.Unlock()
+		m.Reset()
+		return m, nil
+	}
+	p.stats.Built++
+	p.mu.Unlock()
+	// Build outside the lock: machine construction programs every SRAM row
+	// and switch table, and concurrent cold-start borrowers should not
+	// serialize on it.
+	return New(p.pl, p.opts)
+}
+
+// GetN checks out n machines at once (for sharded runs). On error the
+// machines acquired so far are returned to the pool.
+func (p *Pool) GetN(n int) ([]*Machine, error) {
+	ms := make([]*Machine, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := p.Get()
+		if err != nil {
+			p.PutAll(ms)
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// Put returns a machine to the free list (dropped if the list is at its
+// bound). Put(nil) is a no-op so deferred returns need no nil checks.
+func (p *Pool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.stats.Puts++
+	if len(p.free) < p.maxIdle {
+		p.free = append(p.free, m)
+	}
+	p.mu.Unlock()
+}
+
+// PutAll returns a batch of machines.
+func (p *Pool) PutAll(ms []*Machine) {
+	for _, m := range ms {
+		p.Put(m)
+	}
+}
+
+// Stats returns a snapshot of the pool's checkout accounting.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Idle = len(p.free)
+	return s
+}

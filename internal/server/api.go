@@ -1,0 +1,190 @@
+package server
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net/http"
+
+	ca "cacheautomaton"
+)
+
+// The wire types of the serving API, shared by the HTTP/JSON transport
+// and the line-framed TCP transport (which carries the same objects, one
+// JSON document per line).
+
+// CompileRequest loads one named rule set.
+type CompileRequest struct {
+	// Format selects the front-end: "regex" (default), "anml", "snort",
+	// or "clamav".
+	Format string `json:"format,omitempty"`
+	// Patterns is the rule list for the regex format.
+	Patterns []string `json:"patterns,omitempty"`
+	// Text carries the rule document for the anml/snort/clamav formats.
+	Text string `json:"text,omitempty"`
+	// Design selects "perf" (CA_P, default) or "space" (CA_S).
+	Design string `json:"design,omitempty"`
+	// CaseInsensitive, DotExcludesNewline, MaxRepeat and Seed mirror
+	// cacheautomaton.Options.
+	CaseInsensitive    bool  `json:"case_insensitive,omitempty"`
+	DotExcludesNewline bool  `json:"dot_excludes_newline,omitempty"`
+	MaxRepeat          int   `json:"max_repeat,omitempty"`
+	Seed               int64 `json:"seed,omitempty"`
+}
+
+// RulesetInfo describes one compiled rule set.
+type RulesetInfo struct {
+	Name       string  `json:"name"`
+	Format     string  `json:"format"`
+	Patterns   int     `json:"patterns"`
+	States     int     `json:"states"`
+	Partitions int     `json:"partitions"`
+	CacheMB    float64 `json:"cache_mb"`
+	CompileMS  float64 `json:"compile_ms"`
+	// SignatureNames lists ClamAV signature names by pattern index.
+	SignatureNames []string `json:"signature_names,omitempty"`
+}
+
+// MatchRequest is a one-shot scan of a self-contained input.
+type MatchRequest struct {
+	Ruleset string `json:"ruleset"`
+	// Input carries text payloads; InputB64 carries arbitrary bytes
+	// (base64, standard encoding). Exactly one may be set.
+	Input    string `json:"input,omitempty"`
+	InputB64 string `json:"input_b64,omitempty"`
+	// Shards > 1 scans with the sharded parallel engine.
+	Shards int `json:"shards,omitempty"`
+}
+
+// MatchStats is the modeled-hardware slice of a run's statistics.
+type MatchStats struct {
+	Cycles            int64   `json:"cycles"`
+	Matches           int64   `json:"matches"`
+	AvgActiveStates   float64 `json:"avg_active_states"`
+	EnergyPJPerSymbol float64 `json:"energy_pj_per_symbol"`
+	ModeledSeconds    float64 `json:"modeled_seconds"`
+}
+
+// WireMatch is one report event on the wire.
+type WireMatch struct {
+	// Offset is the input offset of the match's last symbol.
+	Offset int64 `json:"offset"`
+	// Pattern is the rule index (or Snort sid / ClamAV signature index).
+	Pattern int `json:"pattern"`
+}
+
+// MatchResponse answers a MatchRequest.
+type MatchResponse struct {
+	Matches []WireMatch `json:"matches"`
+	Stats   MatchStats  `json:"stats"`
+}
+
+// OpenSessionRequest opens (or, with SnapshotB64, resumes) a streaming
+// session.
+type OpenSessionRequest struct {
+	Ruleset string `json:"ruleset"`
+	// SnapshotB64 resumes from a suspended session's snapshot — the
+	// migration path: suspend on one server, resume on another.
+	SnapshotB64 string `json:"snapshot_b64,omitempty"`
+}
+
+// SessionInfo describes one streaming session.
+type SessionInfo struct {
+	Session string `json:"session"`
+	Ruleset string `json:"ruleset"`
+	// Pos is the absolute offset of the next symbol the session will scan.
+	Pos int64 `json:"pos"`
+}
+
+// FeedRequest appends a chunk to a session's stream.
+type FeedRequest struct {
+	Chunk    string `json:"chunk,omitempty"`
+	ChunkB64 string `json:"chunk_b64,omitempty"`
+}
+
+// FeedResponse returns the chunk's matches (absolute offsets).
+type FeedResponse struct {
+	Matches []WireMatch `json:"matches"`
+	Pos     int64       `json:"pos"`
+}
+
+// SuspendResponse carries a suspended session's serialized architectural
+// state. The session is closed; resume it here or on any server holding
+// the same compiled rule set.
+type SuspendResponse struct {
+	Ruleset     string `json:"ruleset"`
+	Pos         int64  `json:"pos"`
+	SnapshotB64 string `json:"snapshot_b64"`
+}
+
+// Health is the health-check payload.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Rulesets int    `json:"rulesets"`
+	Sessions int    `json:"sessions"`
+}
+
+// apiError is an error with an HTTP status. Transports render it as a
+// structured error payload ({"error": ...}), never as a panic or a bare
+// string.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) error {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusOf maps an error to its HTTP status (500 for non-API errors).
+func statusOf(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	return http.StatusInternalServerError
+}
+
+// payload decodes the one-of text/base64 body of a match or feed request.
+func payload(text, b64 string, max int64) ([]byte, error) {
+	if text != "" && b64 != "" {
+		return nil, errf(http.StatusBadRequest, "set input or input_b64, not both")
+	}
+	var data []byte
+	if b64 != "" {
+		var err error
+		data, err = base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad base64 payload: %v", err)
+		}
+	} else {
+		data = []byte(text)
+	}
+	if max > 0 && int64(len(data)) > max {
+		return nil, errf(http.StatusRequestEntityTooLarge, "payload of %d bytes exceeds limit %d", len(data), max)
+	}
+	return data, nil
+}
+
+func wireMatches(ms []ca.Match) []WireMatch {
+	out := make([]WireMatch, len(ms))
+	for i, m := range ms {
+		out[i] = WireMatch{Offset: m.Offset, Pattern: m.Pattern}
+	}
+	return out
+}
+
+func wireStats(st *ca.Stats) MatchStats {
+	if st == nil {
+		return MatchStats{}
+	}
+	return MatchStats{
+		Cycles:            st.Cycles,
+		Matches:           st.Matches,
+		AvgActiveStates:   st.AvgActiveStates,
+		EnergyPJPerSymbol: st.EnergyPJPerSymbol,
+		ModeledSeconds:    st.ModeledSeconds,
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Handler returns the HTTP/JSON API:
+//
+//	PUT    /rulesets/{name}       compile a named rule set
+//	GET    /rulesets              list rule sets
+//	GET    /rulesets/{name}       describe one rule set
+//	DELETE /rulesets/{name}       unload a rule set
+//	POST   /match                 one-shot scan (bounded worker pool)
+//	POST   /sessions              open (or resume) a streaming session
+//	GET    /sessions              list sessions
+//	POST   /sessions/{id}/feed    feed a chunk, get its matches
+//	POST   /sessions/{id}/suspend suspend for migration (closes session)
+//	DELETE /sessions/{id}         close a session
+//	GET    /healthz               liveness (200 ok, 503 draining)
+//
+// Every response, including every error, is a JSON object.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /rulesets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var req CompileRequest
+		if err := s.decode(w, r, &req); err != nil {
+			return
+		}
+		s.reply(w, r, func() (any, error) { return s.Compile(r.PathValue("name"), req) })
+	})
+	mux.HandleFunc("GET /rulesets", func(w http.ResponseWriter, r *http.Request) {
+		s.reply(w, r, func() (any, error) { return s.Rulesets(), nil })
+	})
+	mux.HandleFunc("GET /rulesets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		s.reply(w, r, func() (any, error) { return s.Ruleset(r.PathValue("name")) })
+	})
+	mux.HandleFunc("DELETE /rulesets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		s.reply(w, r, func() (any, error) { return okBody{}, s.DeleteRuleset(r.PathValue("name")) })
+	})
+	mux.HandleFunc("POST /match", func(w http.ResponseWriter, r *http.Request) {
+		var req MatchRequest
+		if err := s.decode(w, r, &req); err != nil {
+			return
+		}
+		s.reply(w, r, func() (any, error) { return s.Match(r.Context(), req) })
+	})
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req OpenSessionRequest
+		if err := s.decode(w, r, &req); err != nil {
+			return
+		}
+		s.reply(w, r, func() (any, error) { return s.OpenSession(req) })
+	})
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		s.reply(w, r, func() (any, error) { return s.Sessions(), nil })
+	})
+	mux.HandleFunc("POST /sessions/{id}/feed", func(w http.ResponseWriter, r *http.Request) {
+		var req FeedRequest
+		if err := s.decode(w, r, &req); err != nil {
+			return
+		}
+		s.reply(w, r, func() (any, error) { return s.Feed(r.PathValue("id"), req) })
+	})
+	mux.HandleFunc("POST /sessions/{id}/suspend", func(w http.ResponseWriter, r *http.Request) {
+		s.reply(w, r, func() (any, error) { return s.Suspend(r.PathValue("id")) })
+	})
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.reply(w, r, func() (any, error) { return okBody{}, s.CloseSession(r.PathValue("id")) })
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Healthz()
+		code := http.StatusOK
+		if h.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, errf(http.StatusNotFound, "no route %s %s", r.Method, r.URL.Path))
+	})
+	return mux
+}
+
+type okBody struct{}
+
+func (okBody) MarshalJSON() ([]byte, error) { return []byte(`{"ok":true}`), nil }
+
+// decode reads a JSON request body under the size cap. A malformed or
+// oversized body is a structured 400/413, never a panic.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			err = errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			err = errf(http.StatusBadRequest, "read body: %v", err)
+		}
+		s.col.Requests.Inc()
+		s.col.RequestErrors.Inc()
+		writeError(w, err)
+		return err
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		s.col.Requests.Inc()
+		s.col.RequestErrors.Inc()
+		err = errf(http.StatusBadRequest, "bad JSON request: %v", err)
+		writeError(w, err)
+		return err
+	}
+	return nil
+}
+
+// reply runs one core operation with request metrics and renders its
+// JSON result or structured error.
+func (s *Server) reply(w http.ResponseWriter, _ *http.Request, op func() (any, error)) {
+	s.col.Requests.Inc()
+	s.col.InFlight.Add(1)
+	start := time.Now()
+	out, err := op()
+	s.col.RequestSeconds.Observe(time.Since(start).Seconds())
+	s.col.InFlight.Add(-1)
+	if err != nil {
+		s.col.RequestErrors.Inc()
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errBody{Error: err.Error()})
+}
+
+// String renders a route summary (used by cad's startup log).
+func (s *Server) String() string {
+	return fmt.Sprintf("cad server: %d rulesets, %d sessions", len(s.Rulesets()), len(s.Sessions()))
+}

@@ -1,0 +1,634 @@
+// Package server is the match-serving subsystem: it compiles named rule
+// sets through the cacheautomaton front-ends and serves them to
+// concurrent clients over HTTP/JSON and a line-framed TCP protocol, with
+// one-shot batched matching, long-lived streaming sessions (suspendable
+// and resumable across servers — session migration), bounded-worker
+// backpressure, per-request limits, graceful drain, and telemetry wired
+// into internal/telemetry.
+//
+// The concurrency story leans entirely on the library's machine-lease
+// contract: every one-shot match leases a private simulator machine for
+// the duration of the call, and every session owns a leased Stream, so
+// any number of handler goroutines share one compiled Automaton safely.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	ca "cacheautomaton"
+	"cacheautomaton/internal/telemetry"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxBodyBytes caps request bodies and decoded payloads (default 8 MiB).
+	MaxBodyBytes int64
+	// MatchWorkers bounds concurrently executing one-shot match requests
+	// (default GOMAXPROCS).
+	MatchWorkers int
+	// QueueDepth bounds match requests waiting for a worker slot; arrivals
+	// beyond it are shed immediately with 503 (default 4×MatchWorkers).
+	QueueDepth int
+	// QueueWait bounds how long a match request waits for a worker slot
+	// before 503 (default 2s).
+	QueueWait time.Duration
+	// MaxSessions bounds concurrently open streaming sessions (default 1024).
+	MaxSessions int
+	// SessionIdle reaps sessions idle longer than this (default 5m;
+	// negative disables the reaper).
+	SessionIdle time.Duration
+	// Registry receives the server's metrics (nil uses telemetry.Default()).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MatchWorkers <= 0 {
+		c.MatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MatchWorkers
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.SessionIdle == 0 {
+		c.SessionIdle = 5 * time.Minute
+	}
+	return c
+}
+
+// ruleset is one compiled, immutable rule set.
+type ruleset struct {
+	info RulesetInfo
+	a    *ca.Automaton
+}
+
+// session is one streaming session. The mutex serializes feeds (the
+// underlying Stream is single-owner); lastUsed drives the idle reaper.
+type session struct {
+	id      string
+	ruleset string
+
+	mu       sync.Mutex
+	stream   *ca.Stream
+	closed   bool
+	lastUsed time.Time
+}
+
+// Server is the match-serving core, shared by the HTTP and TCP
+// transports.
+type Server struct {
+	cfg Config
+	col *telemetry.ServerCollector
+
+	mu       sync.RWMutex
+	rulesets map[string]*ruleset
+	sessions map[string]*session
+	draining bool
+	nextID   uint64
+
+	// slots is the bounded match-worker pool; queued counts waiters.
+	slots  chan struct{}
+	queued int64 // guarded by queueMu
+	qMu    sync.Mutex
+
+	// ops tracks in-flight core operations for graceful drain.
+	ops sync.WaitGroup
+
+	// reaper lifecycle.
+	stopReaper chan struct{}
+	reaperDone chan struct{}
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		col:        telemetry.NewServerCollector(cfg.Registry),
+		rulesets:   make(map[string]*ruleset),
+		sessions:   make(map[string]*session),
+		slots:      make(chan struct{}, cfg.MatchWorkers),
+		stopReaper: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+	}
+	if cfg.SessionIdle > 0 {
+		go s.reapIdleSessions()
+	} else {
+		close(s.reaperDone)
+	}
+	return s
+}
+
+// begin registers one in-flight operation, rejecting it when the server
+// is draining. Callers must call the returned func when done.
+func (s *Server) begin() (func(), error) {
+	s.mu.RLock()
+	draining := s.draining
+	if !draining {
+		s.ops.Add(1)
+	}
+	s.mu.RUnlock()
+	if draining {
+		s.col.Rejected.Inc()
+		return nil, errf(http.StatusServiceUnavailable, "server is draining")
+	}
+	return s.ops.Done, nil
+}
+
+// Compile compiles req into a named rule set, replacing any previous set
+// under that name (sessions opened against the old set keep running on
+// it).
+func (s *Server) Compile(name string, req CompileRequest) (*RulesetInfo, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return nil, errf(http.StatusBadRequest, "bad ruleset name %q", name)
+	}
+	opts := ca.Options{
+		CaseInsensitive:    req.CaseInsensitive,
+		DotExcludesNewline: req.DotExcludesNewline,
+		MaxRepeat:          req.MaxRepeat,
+		Seed:               req.Seed,
+	}
+	switch req.Design {
+	case "", "perf":
+	case "space":
+		opts.Design = ca.Space
+	default:
+		return nil, errf(http.StatusBadRequest, "unknown design %q (want perf or space)", req.Design)
+	}
+	format := req.Format
+	if format == "" {
+		format = "regex"
+	}
+	var (
+		a        *ca.Automaton
+		patterns int
+		names    []string
+	)
+	start := time.Now()
+	switch format {
+	case "regex":
+		if len(req.Patterns) == 0 {
+			return nil, errf(http.StatusBadRequest, "regex format needs patterns")
+		}
+		a, err = ca.CompileRegex(req.Patterns, opts)
+		patterns = len(req.Patterns)
+	case "anml":
+		if req.Text == "" {
+			return nil, errf(http.StatusBadRequest, "anml format needs text")
+		}
+		a, err = ca.CompileANML(strings.NewReader(req.Text), opts)
+	case "snort":
+		if req.Text == "" {
+			return nil, errf(http.StatusBadRequest, "snort format needs text")
+		}
+		a, err = ca.CompileSnortRules(req.Text, opts)
+	case "clamav":
+		if req.Text == "" {
+			return nil, errf(http.StatusBadRequest, "clamav format needs text")
+		}
+		a, names, err = ca.CompileClamAVDatabase(req.Text, opts)
+		patterns = len(names)
+	default:
+		return nil, errf(http.StatusBadRequest, "unknown format %q (want regex, anml, snort or clamav)", format)
+	}
+	if err != nil {
+		return nil, errf(http.StatusUnprocessableEntity, "compile: %v", err)
+	}
+	rs := &ruleset{
+		a: a,
+		info: RulesetInfo{
+			Name:           name,
+			Format:         format,
+			Patterns:       patterns,
+			States:         a.States(),
+			Partitions:     a.Partitions(),
+			CacheMB:        a.CacheUsageMB(),
+			CompileMS:      float64(time.Since(start).Microseconds()) / 1000,
+			SignatureNames: names,
+		},
+	}
+	s.mu.Lock()
+	s.rulesets[name] = rs
+	s.col.Rulesets.Set(int64(len(s.rulesets)))
+	s.mu.Unlock()
+	info := rs.info
+	return &info, nil
+}
+
+// Ruleset returns one rule set's description.
+func (s *Server) Ruleset(name string) (*RulesetInfo, error) {
+	rs, err := s.ruleset(name)
+	if err != nil {
+		return nil, err
+	}
+	info := rs.info
+	return &info, nil
+}
+
+// Rulesets lists the loaded rule sets sorted by name.
+func (s *Server) Rulesets() []RulesetInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RulesetInfo, 0, len(s.rulesets))
+	for _, rs := range s.rulesets {
+		out = append(out, rs.info)
+	}
+	sortRulesets(out)
+	return out
+}
+
+func sortRulesets(rs []RulesetInfo) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Name < rs[j-1].Name; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// DeleteRuleset unloads a rule set. Open sessions on it keep running.
+func (s *Server) DeleteRuleset(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.rulesets[name]; !ok {
+		return errf(http.StatusNotFound, "no ruleset %q", name)
+	}
+	delete(s.rulesets, name)
+	s.col.Rulesets.Set(int64(len(s.rulesets)))
+	return nil
+}
+
+func (s *Server) ruleset(name string) (*ruleset, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rs, ok := s.rulesets[name]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "no ruleset %q", name)
+	}
+	return rs, nil
+}
+
+// acquireSlot implements match backpressure: shed immediately when the
+// wait queue is full, otherwise wait for a worker slot up to QueueWait
+// (or the request context's deadline, whichever is sooner).
+func (s *Server) acquireSlot(ctx context.Context) (func(), error) {
+	s.qMu.Lock()
+	if s.queued >= int64(s.cfg.QueueDepth) {
+		s.qMu.Unlock()
+		s.col.Rejected.Inc()
+		return nil, errf(http.StatusServiceUnavailable, "overloaded: queue of %d match requests is full", s.cfg.QueueDepth)
+	}
+	s.queued++
+	s.col.QueueDepth.Set(s.queued)
+	s.qMu.Unlock()
+	dequeue := func() {
+		s.qMu.Lock()
+		s.queued--
+		s.col.QueueDepth.Set(s.queued)
+		s.qMu.Unlock()
+	}
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		dequeue()
+		return func() { <-s.slots }, nil
+	case <-timer.C:
+		dequeue()
+		s.col.Rejected.Inc()
+		return nil, errf(http.StatusServiceUnavailable, "overloaded: no worker slot within %v", s.cfg.QueueWait)
+	case <-ctx.Done():
+		dequeue()
+		s.col.Rejected.Inc()
+		return nil, errf(http.StatusServiceUnavailable, "canceled while queued: %v", ctx.Err())
+	}
+}
+
+// Match runs a one-shot scan under the bounded worker pool.
+func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	if req.Ruleset == "" {
+		return nil, errf(http.StatusBadRequest, "missing ruleset")
+	}
+	input, err := payload(req.Input, req.InputB64, s.cfg.MaxBodyBytes)
+	if err != nil {
+		return nil, err
+	}
+	if req.Shards < 0 {
+		return nil, errf(http.StatusBadRequest, "negative shards")
+	}
+	rs, err := s.ruleset(req.Ruleset)
+	if err != nil {
+		return nil, err
+	}
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var (
+		ms []ca.Match
+		st *ca.Stats
+	)
+	if req.Shards > 1 {
+		ms, st, err = rs.a.RunParallel(input, req.Shards)
+	} else {
+		ms, st, err = rs.a.Run(input)
+	}
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, "run: %v", err)
+	}
+	s.col.MatchInputBytes.Add(int64(len(input)))
+	s.col.MatchReports.Add(int64(len(ms)))
+	return &MatchResponse{Matches: wireMatches(ms), Stats: wireStats(st)}, nil
+}
+
+// OpenSession opens a streaming session, resuming from a snapshot when
+// one is supplied (the arrival half of a session migration).
+func (s *Server) OpenSession(req OpenSessionRequest) (*SessionInfo, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	if req.Ruleset == "" {
+		return nil, errf(http.StatusBadRequest, "missing ruleset")
+	}
+	rs, err := s.ruleset(req.Ruleset)
+	if err != nil {
+		return nil, err
+	}
+	var stream *ca.Stream
+	resumed := false
+	if req.SnapshotB64 != "" {
+		snap, err := base64.StdEncoding.DecodeString(req.SnapshotB64)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad snapshot base64: %v", err)
+		}
+		stream, err = rs.a.ResumeStream(bytes.NewReader(snap))
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "resume: %v", err)
+		}
+		resumed = true
+	} else {
+		stream, err = rs.a.Stream()
+		if err != nil {
+			return nil, errf(http.StatusInternalServerError, "stream: %v", err)
+		}
+	}
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		stream.Close()
+		s.col.Rejected.Inc()
+		return nil, errf(http.StatusServiceUnavailable, "session limit of %d reached", s.cfg.MaxSessions)
+	}
+	s.nextID++
+	sess := &session{
+		id:       fmt.Sprintf("s%08d", s.nextID),
+		ruleset:  req.Ruleset,
+		stream:   stream,
+		lastUsed: time.Now(),
+	}
+	s.sessions[sess.id] = sess
+	s.col.SessionsActive.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	s.col.SessionsOpened.Inc()
+	if resumed {
+		s.col.SessionsResumed.Inc()
+	}
+	return &SessionInfo{Session: sess.id, Ruleset: sess.ruleset, Pos: stream.Pos()}, nil
+}
+
+// Sessions lists open sessions.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if !sess.closed {
+			out = append(out, SessionInfo{Session: sess.id, Ruleset: sess.ruleset, Pos: sess.stream.Pos()})
+		}
+		sess.mu.Unlock()
+	}
+	return out
+}
+
+func (s *Server) session(id string) (*session, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "no session %q", id)
+	}
+	return sess, nil
+}
+
+// Feed appends a chunk to a session's stream and returns its matches.
+// Feeds on one session serialize; feeds on different sessions run
+// concurrently.
+func (s *Server) Feed(id string, req FeedRequest) (*FeedResponse, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	chunk, err := payload(req.Chunk, req.ChunkB64, s.cfg.MaxBodyBytes)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return nil, errf(http.StatusConflict, "session %q is closed", id)
+	}
+	sess.lastUsed = time.Now()
+	ms := sess.stream.Feed(chunk)
+	s.col.SessionBytes.Add(int64(len(chunk)))
+	s.col.MatchReports.Add(int64(len(ms)))
+	return &FeedResponse{Matches: wireMatches(ms), Pos: sess.stream.Pos()}, nil
+}
+
+// Suspend serializes a session's architectural state, closes the session,
+// and hands the snapshot to the client — the departure half of a session
+// migration. Resuming the snapshot (here or on another server with the
+// same compiled rule set) continues the stream with no lost or duplicated
+// matches.
+func (s *Server) Suspend(id string) (*SuspendResponse, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return nil, errf(http.StatusConflict, "session %q is closed", id)
+	}
+	var buf bytes.Buffer
+	if err := sess.stream.Suspend(&buf); err != nil {
+		return nil, errf(http.StatusInternalServerError, "suspend: %v", err)
+	}
+	resp := &SuspendResponse{
+		Ruleset:     sess.ruleset,
+		Pos:         sess.stream.Pos(),
+		SnapshotB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+	}
+	s.removeSession(sess)
+	s.col.SessionsSuspended.Inc()
+	return resp, nil
+}
+
+// CloseSession closes and forgets a session.
+func (s *Server) CloseSession(id string) error {
+	done, err := s.begin()
+	if err != nil {
+		return err
+	}
+	defer done()
+	sess, err := s.session(id)
+	if err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return errf(http.StatusConflict, "session %q is closed", id)
+	}
+	s.removeSession(sess)
+	return nil
+}
+
+// removeSession closes the stream (returning its machine to the lease
+// pool) and drops the session from the table. Caller holds sess.mu.
+func (s *Server) removeSession(sess *session) {
+	sess.closed = true
+	sess.stream.Close()
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.col.SessionsActive.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+}
+
+// Healthz reports liveness.
+func (s *Server) Healthz() Health {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	return Health{Status: status, Rulesets: len(s.rulesets), Sessions: len(s.sessions)}
+}
+
+// reapIdleSessions closes sessions idle longer than SessionIdle.
+func (s *Server) reapIdleSessions() {
+	defer close(s.reaperDone)
+	tick := s.cfg.SessionIdle / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopReaper:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-s.cfg.SessionIdle)
+			s.mu.RLock()
+			stale := make([]*session, 0)
+			for _, sess := range s.sessions {
+				stale = append(stale, sess)
+			}
+			s.mu.RUnlock()
+			for _, sess := range stale {
+				sess.mu.Lock()
+				if !sess.closed && sess.lastUsed.Before(cutoff) {
+					s.removeSession(sess)
+					s.col.SessionsExpired.Inc()
+				}
+				sess.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Shutdown drains the server: new operations are refused with 503, and
+// the call blocks until every in-flight operation has completed (so no
+// delivered-but-unread matches are dropped) or ctx expires. Open sessions
+// are then closed, returning their leased machines. Shutdown is
+// idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stopReaper)
+	}
+	<-s.reaperDone
+
+	finished := make(chan struct{})
+	go func() {
+		s.ops.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		select { // prefer success when ops drained at the same instant
+		case <-finished:
+		default:
+			err = ctx.Err()
+		}
+	}
+
+	s.mu.RLock()
+	open := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.RUnlock()
+	for _, sess := range open {
+		sess.mu.Lock()
+		if !sess.closed {
+			s.removeSession(sess)
+		}
+		sess.mu.Unlock()
+	}
+	return err
+}

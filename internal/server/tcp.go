@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The TCP transport frames the same API as one JSON object per line: the
+// client writes {"op": "...", ...fields...}\n and reads one JSON line
+// back — {"ok":true, ...result...} or {"ok":false,"error":...,"status":N}.
+// Ops: compile (name + CompileRequest), match (MatchRequest), open
+// (OpenSessionRequest), feed (session + FeedRequest), suspend (session),
+// close (session), list_rulesets, list_sessions, health, ping.
+//
+// Line framing keeps the protocol trivially scriptable (nc, or any
+// language's readline + JSON) while still carrying binary payloads via
+// the *_b64 fields.
+
+// tcpRequest is the envelope of one line-framed request: the union of
+// every op's fields, flattened (embedding the HTTP request structs would
+// make their shared "ruleset" tags collide and silently decode to
+// nothing).
+type tcpRequest struct {
+	Op      string `json:"op"`
+	Name    string `json:"name,omitempty"`    // compile: ruleset name
+	ID      string `json:"session,omitempty"` // feed/suspend/close
+	Ruleset string `json:"ruleset,omitempty"` // match/open
+
+	// compile
+	Format             string   `json:"format,omitempty"`
+	Patterns           []string `json:"patterns,omitempty"`
+	Text               string   `json:"text,omitempty"`
+	Design             string   `json:"design,omitempty"`
+	CaseInsensitive    bool     `json:"case_insensitive,omitempty"`
+	DotExcludesNewline bool     `json:"dot_excludes_newline,omitempty"`
+	MaxRepeat          int      `json:"max_repeat,omitempty"`
+	Seed               int64    `json:"seed,omitempty"`
+
+	// match
+	Input    string `json:"input,omitempty"`
+	InputB64 string `json:"input_b64,omitempty"`
+	Shards   int    `json:"shards,omitempty"`
+
+	// open (resume)
+	SnapshotB64 string `json:"snapshot_b64,omitempty"`
+
+	// feed
+	Chunk    string `json:"chunk,omitempty"`
+	ChunkB64 string `json:"chunk_b64,omitempty"`
+}
+
+// tcpOK wraps a result with the ok flag.
+type tcpOK struct {
+	OK     bool `json:"ok"`
+	Result any  `json:"result,omitempty"`
+}
+
+type tcpErr struct {
+	OK     bool   `json:"ok"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// TCPServer serves the line-framed protocol on one listener.
+type TCPServer struct {
+	s  *Server
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*tcpConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// tcpConn is one client connection; busy is true while a request line is
+// being executed, so Shutdown can close idle connections immediately
+// (mirroring http.Server.Shutdown) and wait only for in-flight work.
+type tcpConn struct {
+	net.Conn
+	busy atomic.Bool
+}
+
+// ServeTCP starts serving the line protocol on ln until Shutdown (or a
+// listener error). It returns immediately; connections are handled on
+// their own goroutines.
+func (s *Server) ServeTCP(ln net.Listener) *TCPServer {
+	t := &TCPServer{s: s, ln: ln, conns: make(map[*tcpConn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal accept error
+		}
+		conn := &tcpConn{Conn: c}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.serveConn(conn)
+	}
+}
+
+// Addr returns the listener address.
+func (t *TCPServer) Addr() net.Addr { return t.ln.Addr() }
+
+func (t *TCPServer) serveConn(conn *tcpConn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	// Lines carry base64 payloads: size the scanner for the body cap plus
+	// base64 expansion and envelope overhead.
+	max := int(t.s.cfg.MaxBodyBytes)*4/3 + 4096
+	sc.Buffer(make([]byte, 0, 64*1024), max)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		conn.busy.Store(true)
+		resp := t.dispatch(line)
+		err := enc.Encode(resp)
+		conn.busy.Store(false)
+		if err != nil {
+			return
+		}
+	}
+	// Oversized or torn lines surface as a final structured error when
+	// the connection is still writable.
+	if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		_ = enc.Encode(tcpErr{Error: "read: " + err.Error(), Status: http.StatusBadRequest})
+	}
+}
+
+// dispatch decodes and executes one line. Malformed input yields a
+// structured error line, never a dropped connection or a panic.
+func (t *TCPServer) dispatch(line []byte) any {
+	s := t.s
+	s.col.Requests.Inc()
+	s.col.InFlight.Add(1)
+	start := time.Now()
+	defer func() {
+		s.col.RequestSeconds.Observe(time.Since(start).Seconds())
+		s.col.InFlight.Add(-1)
+	}()
+	var req tcpRequest
+	if err := json.Unmarshal(line, &req); err != nil {
+		s.col.RequestErrors.Inc()
+		return tcpErr{Error: "bad JSON request: " + err.Error(), Status: http.StatusBadRequest}
+	}
+	out, err := t.execute(&req)
+	if err != nil {
+		s.col.RequestErrors.Inc()
+		return tcpErr{Error: err.Error(), Status: statusOf(err)}
+	}
+	return tcpOK{OK: true, Result: out}
+}
+
+func (t *TCPServer) execute(req *tcpRequest) (any, error) {
+	s := t.s
+	switch req.Op {
+	case "compile":
+		return s.Compile(req.Name, CompileRequest{
+			Format:             req.Format,
+			Patterns:           req.Patterns,
+			Text:               req.Text,
+			Design:             req.Design,
+			CaseInsensitive:    req.CaseInsensitive,
+			DotExcludesNewline: req.DotExcludesNewline,
+			MaxRepeat:          req.MaxRepeat,
+			Seed:               req.Seed,
+		})
+	case "match":
+		return s.Match(context.Background(), MatchRequest{
+			Ruleset:  req.Ruleset,
+			Input:    req.Input,
+			InputB64: req.InputB64,
+			Shards:   req.Shards,
+		})
+	case "open":
+		return s.OpenSession(OpenSessionRequest{Ruleset: req.Ruleset, SnapshotB64: req.SnapshotB64})
+	case "feed":
+		return s.Feed(req.ID, FeedRequest{Chunk: req.Chunk, ChunkB64: req.ChunkB64})
+	case "suspend":
+		return s.Suspend(req.ID)
+	case "close":
+		return okBody{}, s.CloseSession(req.ID)
+	case "list_rulesets":
+		return s.Rulesets(), nil
+	case "list_sessions":
+		return s.Sessions(), nil
+	case "health":
+		return s.Healthz(), nil
+	case "ping":
+		return "pong", nil
+	case "":
+		return nil, errf(http.StatusBadRequest, "missing op")
+	default:
+		return nil, errf(http.StatusBadRequest, "unknown op %q", req.Op)
+	}
+}
+
+// Shutdown stops accepting, closes idle connections immediately (like
+// http.Server.Shutdown), waits for in-flight request lines to deliver
+// their responses, and force-closes whatever remains when ctx expires.
+func (t *TCPServer) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		t.ln.Close()
+	}
+	t.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(finished)
+	}()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		t.mu.Lock()
+		for c := range t.conns {
+			if !c.busy.Load() {
+				c.Close()
+			}
+		}
+		t.mu.Unlock()
+		select {
+		case <-finished:
+			return nil
+		case <-ctx.Done():
+			t.mu.Lock()
+			for c := range t.conns {
+				c.Close()
+			}
+			t.mu.Unlock()
+			<-finished
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

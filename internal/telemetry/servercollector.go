@@ -1,0 +1,65 @@
+package telemetry
+
+// ServerCollector aggregates the match-serving subsystem's metrics into a
+// registry: request traffic and latency, worker-pool backpressure, and the
+// streaming-session lifecycle. All instruments are atomic, so one
+// collector is shared by every transport (HTTP and TCP) and handler
+// goroutine of a server.
+type ServerCollector struct {
+	// Requests counts API operations started (all transports).
+	Requests *Counter
+	// RequestErrors counts operations that returned an error to the client.
+	RequestErrors *Counter
+	// Rejected counts operations shed by backpressure (queue full or
+	// queue-wait timeout) or refused because the server is draining.
+	Rejected *Counter
+	// RequestSeconds is the end-to-end operation latency distribution.
+	RequestSeconds *Histogram
+	// InFlight is the number of operations currently executing.
+	InFlight *Gauge
+	// QueueDepth is the number of match requests waiting for a worker slot.
+	QueueDepth *Gauge
+	// MatchInputBytes totals the bytes scanned by one-shot match requests.
+	MatchInputBytes *Counter
+	// MatchReports totals the match events returned to clients.
+	MatchReports *Counter
+	// SessionsActive is the current open-session count.
+	SessionsActive *Gauge
+	// SessionsOpened / SessionsResumed / SessionsSuspended / SessionsExpired
+	// count session lifecycle transitions (resumed sessions are also counted
+	// as opened; expired means reaped by the idle timeout).
+	SessionsOpened    *Counter
+	SessionsResumed   *Counter
+	SessionsSuspended *Counter
+	SessionsExpired   *Counter
+	// SessionBytes totals bytes fed through streaming sessions.
+	SessionBytes *Counter
+	// Rulesets is the number of compiled rule sets currently loaded.
+	Rulesets *Gauge
+}
+
+// NewServerCollector registers the serving metrics (names prefixed
+// ca_server_) in reg and returns the collector. reg == nil uses Default().
+func NewServerCollector(reg *Registry) *ServerCollector {
+	if reg == nil {
+		reg = Default()
+	}
+	latencyBuckets := ExpBuckets(0.0001, 4, 10) // 100µs … ~26s
+	return &ServerCollector{
+		Requests:          reg.Counter("ca_server_requests_total", "API operations started"),
+		RequestErrors:     reg.Counter("ca_server_request_errors_total", "API operations that returned an error"),
+		Rejected:          reg.Counter("ca_server_rejected_total", "requests shed by backpressure or drain"),
+		RequestSeconds:    reg.Histogram("ca_server_request_seconds", "operation latency in seconds", latencyBuckets),
+		InFlight:          reg.Gauge("ca_server_inflight_requests", "operations currently executing"),
+		QueueDepth:        reg.Gauge("ca_server_match_queue_depth", "match requests waiting for a worker slot"),
+		MatchInputBytes:   reg.Counter("ca_server_match_input_bytes_total", "bytes scanned by one-shot match requests"),
+		MatchReports:      reg.Counter("ca_server_match_reports_total", "match events returned to clients"),
+		SessionsActive:    reg.Gauge("ca_server_sessions_active", "open streaming sessions"),
+		SessionsOpened:    reg.Counter("ca_server_sessions_opened_total", "streaming sessions opened (including resumed)"),
+		SessionsResumed:   reg.Counter("ca_server_sessions_resumed_total", "sessions resumed from a suspended snapshot"),
+		SessionsSuspended: reg.Counter("ca_server_sessions_suspended_total", "sessions suspended for migration"),
+		SessionsExpired:   reg.Counter("ca_server_sessions_expired_total", "sessions reaped by the idle timeout"),
+		SessionBytes:      reg.Counter("ca_server_session_bytes_total", "bytes fed through streaming sessions"),
+		Rulesets:          reg.Gauge("ca_server_rulesets", "compiled rule sets loaded"),
+	}
+}
