@@ -574,6 +574,7 @@ func (a *Automaton) ResumeStream(r io.Reader) (*Stream, error) {
 		return nil, err
 	}
 	if err := s.m.Restore(snap); err != nil {
+		s.Close() // return the leased machine; otherwise the checkout leaks
 		return nil, err
 	}
 	return s, nil

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"cacheautomaton/internal/machine"
 )
 
 func TestCompileRegexAndRun(t *testing.T) {
@@ -195,6 +197,34 @@ func TestStreamFeedAndSuspendResume(t *testing.T) {
 	got := s2.Feed([]byte("off..."))
 	if len(got) != 1 || got[0].Offset != 9 || got[0].Pattern != 0 {
 		t.Fatalf("resumed stream matches = %v, want one at offset 9", got)
+	}
+}
+
+// TestResumeStreamRestoreFailureReturnsMachine is the regression test
+// for a lease leak: ResumeStream leased a machine before Restore, and a
+// Restore failure returned without Close, abandoning the checkout (Gets
+// without Puts). The snapshot here decodes fine but carries the wrong
+// partition count, so only Restore fails.
+func TestResumeStreamRestoreFailureReturnsMachine(t *testing.T) {
+	a, err := CompileRegex([]string{"abc"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &machine.Snapshot{Enabled: make([][]uint64, a.Partitions()+1)}
+	for i := range snap.Enabled {
+		snap.Enabled[i] = []uint64{}
+	}
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := a.runPool.Stats()
+	if _, err := a.ResumeStream(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ResumeStream accepted a snapshot with the wrong partition count")
+	}
+	after := a.runPool.Stats()
+	if gets, puts := after.Gets-before.Gets, after.Puts-before.Puts; gets != puts {
+		t.Fatalf("failed resume leaked a machine: %d gets vs %d puts", gets, puts)
 	}
 }
 

@@ -63,6 +63,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	workers := fs.Int("workers", 0, "bound on concurrent one-shot matches (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "bound on queued matches before shedding 503s (0 = 4x workers)")
 	queueWait := fs.Duration("queue-wait", 2*time.Second, "max wait for a match worker slot")
+	maxShards := fs.Int("max-shards", 0, "cap on per-request match shards (0 = GOMAXPROCS)")
 	maxBody := fs.Int64("max-body", 8<<20, "request body and payload cap in bytes")
 	maxSessions := fs.Int("max-sessions", 1024, "bound on open streaming sessions")
 	sessionIdle := fs.Duration("session-idle", 5*time.Minute, "reap sessions idle this long (<0 disables)")
@@ -76,6 +77,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		MatchWorkers: *workers,
 		QueueDepth:   *queue,
 		QueueWait:    *queueWait,
+		MaxShards:    *maxShards,
 		MaxSessions:  *maxSessions,
 		SessionIdle:  *sessionIdle,
 	})

@@ -52,7 +52,8 @@ type MatchRequest struct {
 	// (base64, standard encoding). Exactly one may be set.
 	Input    string `json:"input,omitempty"`
 	InputB64 string `json:"input_b64,omitempty"`
-	// Shards > 1 scans with the sharded parallel engine.
+	// Shards > 1 scans with the sharded parallel engine; the server
+	// clamps it to Config.MaxShards.
 	Shards int `json:"shards,omitempty"`
 }
 

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cacheautomaton/internal/telemetry"
+)
+
+// TestSessionsVsCloseNoDeadlock is the regression test for a lock-order
+// inversion: Sessions() used to take sess.mu while holding Server.mu
+// (RLock), while removeSession takes Server.mu (Lock) with sess.mu held.
+// A queued RWMutex writer blocks new readers, so a listing racing a
+// session close wedged the whole server within a few thousand
+// iterations. The watchdog dumps all stacks on a hang instead of letting
+// the test binary time out silently.
+func TestSessionsVsCloseNoDeadlock(t *testing.T) {
+	s := New(Config{Registry: telemetry.NewRegistry(), SessionIdle: -1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	if _, err := s.Compile("r", CompileRequest{Patterns: []string{"abc"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each closer worker keeps a batch of sessions open and closes them
+	// while the listers iterate: the bigger the session table, the longer
+	// the (buggy) Sessions() held Server.mu while chasing sess.mu, which
+	// is what made the inversion bite.
+	const (
+		workers = 4
+		batch   = 16
+		iters   = 400
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ids := make([]string, 0, batch)
+				for i := 0; i < iters; i++ {
+					ids = ids[:0]
+					for j := 0; j < batch; j++ {
+						info, err := s.OpenSession(OpenSessionRequest{Ruleset: "r"})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						ids = append(ids, info.Session)
+					}
+					for _, id := range ids {
+						if err := s.CloseSession(id); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < workers*batch*iters; i++ {
+					s.Sessions()
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("deadlock: Sessions racing CloseSession wedged the server\n%s",
+			buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestMatchShardsClamped verifies the server clamps a client-requested
+// shard count to Config.MaxShards instead of letting one request demand
+// an arbitrary number of simulator machines, and that the clamped run
+// still reports the same matches as the sequential reference.
+func TestMatchShardsClamped(t *testing.T) {
+	s := New(Config{Registry: telemetry.NewRegistry(), MaxShards: 2, SessionIdle: -1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	if _, err := s.Compile("r", CompileRequest{Patterns: []string{"abc"}}); err != nil {
+		t.Fatal(err)
+	}
+	input := strings.Repeat("xx abc yy ", 4096)
+	ref, err := s.Match(context.Background(), MatchRequest{Ruleset: "r", Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Match(context.Background(), MatchRequest{Ruleset: "r", Input: input, Shards: 1 << 20})
+	if err != nil {
+		t.Fatalf("absurd shard request must be clamped and served, got %v", err)
+	}
+	if len(got.Matches) != len(ref.Matches) {
+		t.Fatalf("clamped sharded run: %d matches, sequential reference: %d",
+			len(got.Matches), len(ref.Matches))
+	}
+	for i := range got.Matches {
+		if got.Matches[i] != ref.Matches[i] {
+			t.Fatalf("match %d: sharded %+v != reference %+v", i, got.Matches[i], ref.Matches[i])
+		}
+	}
+}
+
+// TestTCPConnShutdownClaim pins the drain handshake: a request line that
+// Scan read before Shutdown claimed the conn must NOT execute (its
+// response channel is gone — executing a suspend there would destroy the
+// only copy of the snapshot), and a conn that is mid-request must not be
+// closed under the executing op.
+func TestTCPConnShutdownClaim(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// Idle conn: Shutdown claims it; a line already in hand must be dropped.
+	idle := &tcpConn{Conn: a}
+	idle.closeIfIdle()
+	if idle.beginRequest() {
+		t.Fatal("beginRequest succeeded on a conn Shutdown already claimed")
+	}
+	if _, err := idle.Write([]byte("x")); err == nil {
+		t.Fatal("claimed idle conn was not closed")
+	}
+
+	// Busy conn: closeIfIdle must skip it and leave it writable.
+	busy := &tcpConn{Conn: b}
+	if !busy.beginRequest() {
+		t.Fatal("beginRequest refused on a fresh conn")
+	}
+	busy.closeIfIdle()
+	if closing := busy.endRequest(); closing {
+		t.Fatal("closeIfIdle claimed a busy conn")
+	}
+
+	// After the in-flight request finishes, the next sweep may claim it.
+	busy.closeIfIdle()
+	if busy.beginRequest() {
+		t.Fatal("beginRequest succeeded after Shutdown claimed the drained conn")
+	}
+}

@@ -40,6 +40,10 @@ type Config struct {
 	// QueueWait bounds how long a match request waits for a worker slot
 	// before 503 (default 2s).
 	QueueWait time.Duration
+	// MaxShards caps the client-requested shard count of one /match
+	// (default GOMAXPROCS). Requests asking for more are clamped, not
+	// rejected: shards beyond the core count only cost memory.
+	MaxShards int
 	// MaxSessions bounds concurrently open streaming sessions (default 1024).
 	MaxSessions int
 	// SessionIdle reaps sessions idle longer than this (default 5m;
@@ -62,6 +66,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueWait <= 0 {
 		c.QueueWait = 2 * time.Second
 	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = runtime.GOMAXPROCS(0)
+	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
 	}
@@ -79,6 +86,12 @@ type ruleset struct {
 
 // session is one streaming session. The mutex serializes feeds (the
 // underlying Stream is single-owner); lastUsed drives the idle reaper.
+//
+// Lock order: sess.mu may be held while taking Server.mu (removeSession
+// does), so nothing may take sess.mu while holding Server.mu — with an
+// RWMutex a queued writer blocks new readers, and the inverted order
+// deadlocks the whole server. Snapshot session pointers under Server.mu
+// first, release it, then lock each session.
 type session struct {
 	id      string
 	ruleset string
@@ -353,8 +366,14 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 		ms []ca.Match
 		st *ca.Stats
 	)
-	if req.Shards > 1 {
-		ms, st, err = rs.a.RunParallel(input, req.Shards)
+	// Shards is client input: clamp it to server policy so one request
+	// cannot demand an arbitrary number of simulator machines.
+	shards := req.Shards
+	if shards > s.cfg.MaxShards {
+		shards = s.cfg.MaxShards
+	}
+	if shards > 1 {
+		ms, st, err = rs.a.RunParallel(input, shards)
 	} else {
 		ms, st, err = rs.a.Run(input)
 	}
@@ -423,12 +442,19 @@ func (s *Server) OpenSession(req OpenSessionRequest) (*SessionInfo, error) {
 	return &SessionInfo{Session: sess.id, Ruleset: sess.ruleset, Pos: stream.Pos()}, nil
 }
 
-// Sessions lists open sessions.
+// Sessions lists open sessions. Per the lock order (sess.mu before
+// Server.mu, never the reverse), the table is snapshotted under
+// Server.mu and each session is then inspected under its own lock —
+// the same pattern the reaper and Shutdown use.
 func (s *Server) Sessions() []SessionInfo {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]SessionInfo, 0, len(s.sessions))
+	snap := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
+		snap = append(snap, sess)
+	}
+	s.mu.RUnlock()
+	out := make([]SessionInfo, 0, len(snap))
+	for _, sess := range snap {
 		sess.mu.Lock()
 		if !sess.closed {
 			out = append(out, SessionInfo{Session: sess.id, Ruleset: sess.ruleset, Pos: sess.stream.Pos()})

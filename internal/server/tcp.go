@@ -8,7 +8,6 @@ import (
 	"net"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -82,9 +81,57 @@ type TCPServer struct {
 // tcpConn is one client connection; busy is true while a request line is
 // being executed, so Shutdown can close idle connections immediately
 // (mirroring http.Server.Shutdown) and wait only for in-flight work.
+// busy and closing share one mutex: a line that Scan has already read is
+// only executed if Shutdown has not yet claimed the conn, so an op never
+// runs after its response channel is gone.
 type tcpConn struct {
 	net.Conn
-	busy atomic.Bool
+	mu      sync.Mutex
+	busy    bool // a request line is executing
+	closing bool // Shutdown decided to close this conn
+}
+
+// beginRequest marks the conn busy and reports whether the request may
+// execute; it refuses when Shutdown already claimed the conn (the line
+// was read before the close landed — executing it would lose the
+// response, and with it any one-shot state such as a suspend snapshot).
+func (c *tcpConn) beginRequest() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closing {
+		return false
+	}
+	c.busy = true
+	return true
+}
+
+// endRequest clears busy and reports whether Shutdown wants the conn
+// gone, so the serve loop stops instead of reading another line.
+func (c *tcpConn) endRequest() (closing bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = false
+	return c.closing
+}
+
+// closeIfIdle closes the conn unless a request is executing; once
+// claimed, no further request lines will run on it.
+func (c *tcpConn) closeIfIdle() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.busy {
+		c.closing = true
+		c.Conn.Close()
+	}
+}
+
+// forceClose closes the conn regardless of in-flight work (drain
+// deadline expired).
+func (c *tcpConn) forceClose() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closing = true
+	c.Conn.Close()
 }
 
 // ServeTCP starts serving the line protocol on ln until Shutdown (or a
@@ -140,11 +187,12 @@ func (t *TCPServer) serveConn(conn *tcpConn) {
 		if len(line) == 0 {
 			continue
 		}
-		conn.busy.Store(true)
+		if !conn.beginRequest() {
+			return // Shutdown claimed the conn after this line was read
+		}
 		resp := t.dispatch(line)
 		err := enc.Encode(resp)
-		conn.busy.Store(false)
-		if err != nil {
+		if conn.endRequest() || err != nil {
 			return
 		}
 	}
@@ -244,9 +292,7 @@ func (t *TCPServer) Shutdown(ctx context.Context) error {
 	for {
 		t.mu.Lock()
 		for c := range t.conns {
-			if !c.busy.Load() {
-				c.Close()
-			}
+			c.closeIfIdle()
 		}
 		t.mu.Unlock()
 		select {
@@ -255,7 +301,7 @@ func (t *TCPServer) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 			t.mu.Lock()
 			for c := range t.conns {
-				c.Close()
+				c.forceClose()
 			}
 			t.mu.Unlock()
 			<-finished
