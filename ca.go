@@ -19,6 +19,7 @@
 package cacheautomaton
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -338,6 +339,17 @@ func (a *Automaton) Run(input []byte) ([]Match, *Stats, error) {
 	return l.Run(input)
 }
 
+// RunContext is Run with deadline-aware cancellation (see
+// Lease.RunContext). A ctx that can never be canceled costs nothing.
+func (a *Automaton) RunContext(ctx context.Context, input []byte) ([]Match, *Stats, error) {
+	l, err := a.Lease()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer l.Release()
+	return l.RunContext(ctx, input)
+}
+
 // Lease checks a private machine out of the automaton's pool for repeated
 // one-shot runs without per-call pool traffic (a server handling a burst
 // of requests on one connection, for example). The lease is single-owner:
@@ -370,6 +382,23 @@ func (l *Lease) Run(input []byte) ([]Match, *Stats, error) {
 	return matchesFrom(res.Matches), l.a.statsFrom(res), nil
 }
 
+// RunContext is Run with deadline-aware cancellation: the scan checks
+// ctx between machine.ContextCheckBytes sub-batches, so a canceled or
+// timed-out request stops within one sub-batch instead of scanning its
+// whole input. On cancellation the partial result is discarded and
+// ctx's error is returned (the run is one-shot; nothing is lost).
+func (l *Lease) RunContext(ctx context.Context, input []byte) ([]Match, *Stats, error) {
+	if l.m == nil {
+		return nil, nil, fmt.Errorf("cacheautomaton: use of released lease")
+	}
+	l.m.Reset()
+	res, err := l.m.RunContext(ctx, input)
+	if err != nil {
+		return nil, nil, err
+	}
+	return matchesFrom(res.Matches), l.a.statsFrom(res), nil
+}
+
 // Release returns the leased machine to the automaton's pool. Release is
 // idempotent; the lease is unusable afterwards.
 func (l *Lease) Release() {
@@ -395,12 +424,21 @@ func (l *Lease) Release() {
 // RunParallel leases its shard machines per call, so concurrent
 // RunParallel (and mixed Run/RunParallel) callers are safe.
 func (a *Automaton) RunParallel(input []byte, shards int) ([]Match, *Stats, error) {
+	return a.RunParallelContext(context.Background(), input, shards)
+}
+
+// RunParallelContext is RunParallel with deadline-aware cancellation:
+// every shard worker checks ctx at sub-batch granularity, so canceling
+// the request stops all shards promptly and returns their machines to
+// the pool. A worker panic is recovered inside the sharded engine and
+// surfaces here as an error, never as a process crash.
+func (a *Automaton) RunParallelContext(ctx context.Context, input []byte, shards int) ([]Match, *Stats, error) {
 	if shards < 1 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	shards = machine.ShardsFor(shards, len(input))
 	if shards == 1 {
-		return a.Run(input)
+		return a.RunContext(ctx, input)
 	}
 	var start time.Time
 	if a.observer != nil {
@@ -411,7 +449,7 @@ func (a *Automaton) RunParallel(input []byte, shards int) ([]Match, *Stats, erro
 		return nil, nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
 	defer a.shardPool.PutAll(pool)
-	res, err := machine.RunSharded(pool, input)
+	res, err := machine.RunShardedContext(ctx, pool, input)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
@@ -420,6 +458,21 @@ func (a *Automaton) RunParallel(input []byte, shards int) ([]Match, *Stats, erro
 			res.OutputBufferPeak)
 	}
 	return matchesFrom(res.Matches), a.statsFrom(res), nil
+}
+
+// LeaseStats reports the automaton's machine-pool checkout balance
+// across the run and shard pools. A healthy process keeps Gets == Puts
+// whenever no Run/Stream/Lease is in flight; the chaos harness asserts
+// exactly that after every fault drill.
+type LeaseStats struct {
+	Gets, Puts int64
+}
+
+// LeaseStats snapshots the pool checkout balance.
+func (a *Automaton) LeaseStats() LeaseStats {
+	r := a.runPool.Stats()
+	s := a.shardPool.Stats()
+	return LeaseStats{Gets: r.Gets + s.Gets, Puts: r.Puts + s.Puts}
 }
 
 // Count processes input without collecting match records (for long
@@ -533,6 +586,26 @@ func (s *Stream) Feed(chunk []byte) []Match {
 		out = append(out, Match{Offset: m.Offset, Pattern: int(m.Code)})
 	}
 	return out
+}
+
+// FeedContext is Feed with deadline-aware cancellation: the chunk is
+// scanned in machine.ContextCheckBytes sub-batches with a ctx check
+// between each. On cancellation it returns the matches produced so far
+// together with ctx's error; Pos() then reports exactly how much of the
+// chunk was consumed, so the caller can resume from the cut point
+// without losing or duplicating matches. A ctx that can never be
+// canceled behaves exactly like Feed.
+func (s *Stream) FeedContext(ctx context.Context, chunk []byte) ([]Match, error) {
+	if s.m == nil {
+		return nil, nil
+	}
+	_, err := s.m.RunContext(ctx, chunk)
+	fresh := s.m.DrainMatches()
+	out := make([]Match, 0, len(fresh))
+	for _, m := range fresh {
+		out = append(out, Match{Offset: m.Offset, Pattern: int(m.Code)})
+	}
+	return out, err
 }
 
 // Pos returns the absolute offset of the next symbol (0 after Close).

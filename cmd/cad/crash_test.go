@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"cacheautomaton/internal/server"
+)
+
+// TestCadCrashHelper is not a test: it is the subprocess body for
+// TestCadCrashRecovery, re-execing this test binary as a real cad
+// process that can be SIGKILLed. Arguments arrive via CAD_ARGS.
+func TestCadCrashHelper(t *testing.T) {
+	if os.Getenv("CAD_CRASH_HELPER") != "1" {
+		t.Skip("helper process for TestCadCrashRecovery")
+	}
+	os.Exit(run(context.Background(), strings.Split(os.Getenv("CAD_ARGS"), " "), os.Stdout, os.Stderr, nil))
+}
+
+// spawnCad starts this test binary as a cad subprocess and scans its
+// stdout until the HTTP listener address appears. It returns the base
+// URL, the command (for Kill/Wait), and the log lines seen so far.
+func spawnCad(t *testing.T, args ...string) (string, *exec.Cmd, []string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCadCrashHelper$")
+	cmd.Env = append(os.Environ(), "CAD_CRASH_HELPER=1", "CAD_ARGS="+strings.Join(args, " "))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	var logs []string
+	sc := bufio.NewScanner(out)
+	deadline := time.Now().Add(15 * time.Second)
+	for sc.Scan() {
+		line := sc.Text()
+		logs = append(logs, line)
+		if addr, ok := strings.CutPrefix(line, "cad: HTTP API on "); ok {
+			go func() { // drain the pipe so the subprocess never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			return "http://" + addr, cmd, logs
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	t.Fatalf("cad subprocess never became ready; logs:\n%s", strings.Join(logs, "\n"))
+	return "", nil, nil
+}
+
+// TestCadCrashRecovery is the end-to-end crash drill: a cad process
+// with -wal-dir is killed with SIGKILL in the middle of a streaming
+// session, a fresh process is started on the same WAL directory, and
+// the resumed session's remaining output must be byte-for-byte what an
+// uninterrupted server would have produced — including a match whose
+// pattern straddles the kill point, which proves the automaton's
+// architectural state (not just the stream offset) was recovered.
+func TestCadCrashRecovery(t *testing.T) {
+	walDir := t.TempDir()
+
+	// Eight chunks; the crash lands after chunk 3 ("...need" sent, "le5..."
+	// not yet). Matches occur before, across, and after the kill point.
+	chunks := []string{
+		"xx needle1 yy",
+		"filler with no hits at all",
+		"more filler then need", // ends mid-pattern...
+		"le5 and then needle7",  // ...which completes after the crash
+		"quiet chunk",
+		"last one: needle9 end",
+	}
+	const killAfter = 3 // chunks fed to the first process
+
+	compileReq := map[string]any{"patterns": []string{"needle[0-9]"}, "seed": 42}
+
+	// Reference: the same session served by one uninterrupted server.
+	type wm struct {
+		Offset  int64 `json:"offset"`
+		Pattern int   `json:"pattern"`
+	}
+	var wantMatches []wm
+	var wantPos int64
+	{
+		ref := server.New(server.Config{})
+		defer ref.Shutdown(context.Background())
+		if _, err := ref.Compile("rs", server.CompileRequest{Patterns: []string{"needle[0-9]"}, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := ref.OpenSession(server.OpenSessionRequest{Ruleset: "rs"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range chunks {
+			fr, err := ref.Feed(context.Background(), sess.Session, server.FeedRequest{Chunk: c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range fr.Matches {
+				wantMatches = append(wantMatches, wm{m.Offset, m.Pattern})
+			}
+			wantPos = fr.Pos
+		}
+	}
+
+	// Process 1: compile, open, feed the first chunks, then SIGKILL.
+	base, cmd, _ := spawnCad(t, "-http", "127.0.0.1:0", "-wal-dir", walDir)
+	var info struct {
+		Name string `json:"name"`
+	}
+	if code := putJSON(t, base+"/rulesets/rs", compileReq, &info); code != 200 {
+		t.Fatalf("compile: %d", code)
+	}
+	var sess struct {
+		Session string `json:"session"`
+	}
+	if code := postJSON(t, base+"/sessions", map[string]any{"ruleset": "rs"}, &sess); code != 200 {
+		t.Fatal("open session")
+	}
+	var got []wm
+	var feed struct {
+		Matches []wm  `json:"matches"`
+		Pos     int64 `json:"pos"`
+	}
+	for _, c := range chunks[:killAfter] {
+		if code := postJSON(t, base+"/sessions/"+sess.Session+"/feed", map[string]any{"chunk": c}, &feed); code != 200 {
+			t.Fatalf("feed: %d", code)
+		}
+		got = append(got, feed.Matches...)
+	}
+	posAtKill := feed.Pos
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no dtors
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Process 2: same WAL directory. It must replay the compile and
+	// resume the session under its original id at the acknowledged pos.
+	base2, _, logs := spawnCad(t, "-http", "127.0.0.1:0", "-wal-dir", walDir)
+	wantReplay := "cad: wal: replayed 1 rulesets, resumed 1 sessions (0 skipped)"
+	if !strings.Contains(strings.Join(logs, "\n"), wantReplay) {
+		t.Fatalf("replay log missing %q; logs:\n%s", wantReplay, strings.Join(logs, "\n"))
+	}
+	var sessions []struct {
+		Session string `json:"session"`
+		Pos     int64  `json:"pos"`
+	}
+	if code := getJSON(t, base2+"/sessions", &sessions); code != 200 {
+		t.Fatalf("list sessions: %d", code)
+	}
+	resumed := false
+	for _, si := range sessions {
+		if si.Session == sess.Session {
+			resumed = true
+			if si.Pos != posAtKill {
+				t.Fatalf("resumed pos = %d, want %d", si.Pos, posAtKill)
+			}
+		}
+	}
+	if !resumed {
+		t.Fatalf("session %s not resumed; have %+v", sess.Session, sessions)
+	}
+	for _, c := range chunks[killAfter:] {
+		if code := postJSON(t, base2+"/sessions/"+sess.Session+"/feed", map[string]any{"chunk": c}, &feed); code != 200 {
+			t.Fatalf("feed after restart: %d", code)
+		}
+		got = append(got, feed.Matches...)
+	}
+
+	if feed.Pos != wantPos {
+		t.Errorf("final pos = %d, want %d", feed.Pos, wantPos)
+	}
+	if len(got) != len(wantMatches) {
+		t.Fatalf("matches across crash = %+v, want %+v", got, wantMatches)
+	}
+	for i := range got {
+		if got[i] != wantMatches[i] {
+			t.Errorf("match %d = %+v, want %+v", i, got[i], wantMatches[i])
+		}
+	}
+	// The cross-crash match is the load-bearing one: its pattern began
+	// before the kill and completed after the restart.
+	crossed := false
+	for _, m := range got {
+		if m.Offset > posAtKill-10 && m.Offset < posAtKill+10 {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Errorf("no match straddled the kill point (pos %d): %+v", posAtKill, got)
+	}
+}
+
+func putJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	return doMethodJSON(t, "PUT", url, body, out)
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	return doMethodJSON(t, "GET", url, nil, out)
+}
+
+func doMethodJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		_ = json.Unmarshal(data, out)
+	}
+	return resp.StatusCode
+}

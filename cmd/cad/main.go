@@ -14,9 +14,20 @@
 // POST /sessions + /sessions/{id}/feed; /sessions/{id}/suspend serializes
 // a session's architectural state for migration to another cad. With
 // -metrics-addr, a telemetry endpoint serves /metrics, /metrics.json,
-// /debug/vars and /debug/pprof. On SIGINT/SIGTERM cad drains gracefully:
-// in-flight requests finish (bounded by -drain-timeout), then sessions
-// close and their leased machines are released.
+// /debug/vars and /debug/pprof.
+//
+// Resilience: -request-timeout puts a server-side execution deadline on
+// every match and feed (checked at sub-batch granularity; a feed cut off
+// mid-chunk returns its partial matches with "truncated":true and the
+// client re-sends the suffix). -wal-dir enables the session write-ahead
+// log: compiles and per-feed session checkpoints are appended to a
+// checksummed log that a restarting cad replays, so rule sets and open
+// sessions survive kill -9 bit-identically. /healthz answers liveness;
+// /readyz flips to 503 at drain start before any listener closes. On
+// SIGINT/SIGTERM cad drains gracefully: in-flight requests finish
+// (bounded by -drain-timeout), then sessions close and their leased
+// machines are released (their WAL checkpoints are kept, so a successor
+// process resumes them).
 package main
 
 import (
@@ -68,19 +79,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	maxSessions := fs.Int("max-sessions", 1024, "bound on open streaming sessions")
 	sessionIdle := fs.Duration("session-idle", 5*time.Minute, "reap sessions idle this long (<0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight work on shutdown")
+	requestTimeout := fs.Duration("request-timeout", 0, "server-side execution deadline per match/feed (0 disables)")
+	walDir := fs.String("wal-dir", "", "directory for the session write-ahead log (crash recovery); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	s := server.New(server.Config{
-		MaxBodyBytes: *maxBody,
-		MatchWorkers: *workers,
-		QueueDepth:   *queue,
-		QueueWait:    *queueWait,
-		MaxShards:    *maxShards,
-		MaxSessions:  *maxSessions,
-		SessionIdle:  *sessionIdle,
+		MaxBodyBytes:   *maxBody,
+		MatchWorkers:   *workers,
+		QueueDepth:     *queue,
+		QueueWait:      *queueWait,
+		MaxShards:      *maxShards,
+		MaxSessions:    *maxSessions,
+		SessionIdle:    *sessionIdle,
+		RequestTimeout: *requestTimeout,
 	})
+
+	if *walDir != "" {
+		// Replay before preload and before any listener opens: recovered
+		// rule sets and sessions must be visible to the first request.
+		st, err := s.AttachWAL(*walDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "cad: wal %s: %v\n", *walDir, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "cad: wal: replayed %d rulesets, resumed %d sessions (%d skipped)\n",
+			st.Rulesets, st.Sessions, st.SkippedSessions)
+	}
 
 	if *rules != "" {
 		info, err := preload(s, *rules, *format, *rulesetName, *design, *caseIns)
@@ -141,6 +167,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		return 1
 	}
 
+	// Flip readiness first — /readyz answers 503 while every listener is
+	// still open, so load balancers stop routing before anything closes.
+	s.SetReady(false)
 	fmt.Fprintf(stdout, "cad: draining (timeout %v)\n", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

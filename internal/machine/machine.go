@@ -651,23 +651,30 @@ func (m *Machine) report(p *partition, pi int, matched [wordsPerPartition]uint64
 	}
 }
 
+// accountRefills charges the input FIFO for the cache lines the next
+// len(input) symbols will pull in. Refills are tracked by absolute
+// stream position: count each 64-byte line once however the stream is
+// chunked.
+func (m *Machine) accountRefills(input []byte) {
+	if len(input) == 0 {
+		return
+	}
+	first := m.pos / cacheLineBytes
+	last := (m.pos + int64(len(input)) - 1) / cacheLineBytes
+	if first < m.fifoNextLine {
+		first = m.fifoNextLine
+	}
+	if last >= first {
+		m.res.FIFORefills += last - first + 1
+		m.fifoNextLine = last + 1
+	}
+}
+
 // Run processes the input and returns a snapshot of the accumulated
 // result. The machine keeps its stream position, so consecutive Runs
 // continue the stream; call Reset to start over.
 func (m *Machine) Run(input []byte) *Result {
-	if len(input) > 0 {
-		// Refill accounting by absolute stream position: count each
-		// 64-byte line once however the stream is chunked.
-		first := m.pos / cacheLineBytes
-		last := (m.pos + int64(len(input)) - 1) / cacheLineBytes
-		if first < m.fifoNextLine {
-			first = m.fifoNextLine
-		}
-		if last >= first {
-			m.res.FIFORefills += last - first + 1
-			m.fifoNextLine = last + 1
-		}
-	}
+	m.accountRefills(input)
 	var start time.Time
 	if m.opts.Observer != nil {
 		start = time.Now()

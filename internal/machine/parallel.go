@@ -1,8 +1,12 @@
 package machine
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
+
+	"cacheautomaton/internal/faults"
 )
 
 // DefaultShardOverlap is the speculative warm-up prefix, in symbols, that
@@ -59,6 +63,16 @@ func ShardsFor(requested, inputLen int) int {
 // machines would observe speculative warm-up cycles); use the sequential
 // Run when cycle-level observation matters.
 func RunSharded(ms []*Machine, input []byte) (*Result, error) {
+	return RunShardedContext(context.Background(), ms, input)
+}
+
+// RunShardedContext is RunSharded with resilience threaded through: each
+// shard worker checks ctx at ContextCheckBytes granularity (a canceled
+// request stops all shards within one sub-batch) and recovers its own
+// panics, so a fault in one worker surfaces as an error from this call
+// instead of killing the process. The machines are safe to return to
+// their pool after any failure — Pool.Get resets them before reuse.
+func RunShardedContext(ctx context.Context, ms []*Machine, input []byte) (*Result, error) {
 	if len(ms) == 0 {
 		return nil, errors.New("machine: RunSharded needs at least one machine")
 	}
@@ -70,7 +84,7 @@ func RunSharded(ms []*Machine, input []byte) (*Result, error) {
 	n := ShardsFor(len(ms), len(input))
 	if n <= 1 {
 		ms[0].Reset()
-		return ms[0].Run(input), nil
+		return ms[0].RunContext(ctx, input)
 	}
 
 	bounds := make([]int, n+1)
@@ -80,11 +94,24 @@ func RunSharded(ms []*Machine, input []byte) (*Result, error) {
 	results := make([]Result, n)
 	assumed := make([][]uint64, n) // speculated enabled state at shard start
 	endSt := make([][]uint64, n)   // enabled state at shard end
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Panic isolation: a worker panic (a bug, or an injected
+			// fault drill) must not take down the process; it becomes an
+			// error result for this run only.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("machine: shard %d worker panic: %v", i, r)
+				}
+			}()
+			if err := faults.Check("machine.shard.worker"); err != nil {
+				errs[i] = err
+				return
+			}
 			m := ms[i]
 			if i == 0 {
 				m.Reset()
@@ -98,12 +125,20 @@ func RunSharded(ms []*Machine, input []byte) (*Result, error) {
 				m.clearAccum()
 			}
 			assumed[i] = m.captureEnabled()
-			m.runBatch(input[bounds[i]:bounds[i+1]])
+			if err := m.runBatchContext(ctx, input[bounds[i]:bounds[i+1]]); err != nil {
+				errs[i] = err
+				return
+			}
 			results[i] = m.takeResult()
 			endSt[i] = m.captureEnabled()
 		}(i)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// Repair pass: wherever speculation missed (including misses cascading
 	// from an earlier repair), re-run the shard from the true predecessor
@@ -115,7 +150,9 @@ func RunSharded(ms []*Machine, input []byte) (*Result, error) {
 		}
 		m := ms[i]
 		m.resumeAt(int64(bounds[i]), endSt[i-1])
-		m.runBatch(input[bounds[i]:bounds[i+1]])
+		if err := m.runBatchContext(ctx, input[bounds[i]:bounds[i+1]]); err != nil {
+			return nil, err
+		}
 		results[i] = m.takeResult()
 		endSt[i] = m.captureEnabled()
 	}

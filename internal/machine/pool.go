@@ -1,8 +1,10 @@
 package machine
 
 import (
+	"fmt"
 	"sync"
 
+	"cacheautomaton/internal/faults"
 	"cacheautomaton/internal/mapper"
 )
 
@@ -54,6 +56,12 @@ func NewPool(pl *mapper.Placement, opts Options, maxIdle int) *Pool {
 // empty. The machine comes back Reset (offset 0, start states enabled) and
 // is exclusively the caller's until Put.
 func (p *Pool) Get() (*Machine, error) {
+	// Lease-exhaustion injection point. Placed before any accounting so a
+	// refused checkout leaves Gets == Puts — an injected failure must look
+	// exactly like the pool never being asked.
+	if err := faults.Check("machine.pool.get"); err != nil {
+		return nil, fmt.Errorf("machine: lease refused: %w", err)
+	}
 	p.mu.Lock()
 	p.stats.Gets++
 	if n := len(p.free); n > 0 {

@@ -107,6 +107,11 @@ type FeedRequest struct {
 type FeedResponse struct {
 	Matches []WireMatch `json:"matches"`
 	Pos     int64       `json:"pos"`
+	// Truncated is set when the feed was canceled mid-chunk by the
+	// execution deadline: the matches found up to Pos are delivered, the
+	// session stays open, and the client resumes by re-sending the
+	// chunk's unconsumed suffix (its bytes from Pos on).
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // SuspendResponse carries a suspended session's serialized architectural
@@ -127,16 +132,25 @@ type Health struct {
 
 // apiError is an error with an HTTP status. Transports render it as a
 // structured error payload ({"error": ...}), never as a panic or a bare
-// string.
+// string. cause, when set, preserves the error chain so callers can
+// errors.As through the status wrapper (faults.IsInjected relies on it).
 type apiError struct {
 	status int
 	msg    string
+	cause  error
 }
 
 func (e *apiError) Error() string { return e.msg }
 
+func (e *apiError) Unwrap() error { return e.cause }
+
 func errf(status int, format string, args ...any) error {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// errc is errf with a preserved cause chain.
+func errc(status int, cause error, format string, args ...any) error {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...), cause: cause}
 }
 
 // statusOf maps an error to its HTTP status (500 for non-API errors).

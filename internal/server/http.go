@@ -22,6 +22,7 @@ import (
 //	POST   /sessions/{id}/suspend suspend for migration (closes session)
 //	DELETE /sessions/{id}         close a session
 //	GET    /healthz               liveness (200 ok, 503 draining)
+//	GET    /readyz                readiness (503 from drain start)
 //
 // Every response, including every error, is a JSON object.
 func (s *Server) Handler() http.Handler {
@@ -64,7 +65,7 @@ func (s *Server) Handler() http.Handler {
 		if err := s.decode(w, r, &req); err != nil {
 			return
 		}
-		s.reply(w, r, func() (any, error) { return s.Feed(r.PathValue("id"), req) })
+		s.reply(w, r, func() (any, error) { return s.Feed(r.Context(), r.PathValue("id"), req) })
 	})
 	mux.HandleFunc("POST /sessions/{id}/suspend", func(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, r, func() (any, error) { return s.Suspend(r.PathValue("id")) })
@@ -79,6 +80,16 @@ func (s *Server) Handler() http.Handler {
 			code = http.StatusServiceUnavailable
 		}
 		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness is separate from liveness: it flips 503 at drain start,
+		// before any listener closes, so load balancers stop routing new
+		// traffic while in-flight requests still complete.
+		if s.Readyz() {
+			writeJSON(w, http.StatusOK, okBody{})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, errBody{Error: "not ready"})
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusNotFound, "no route %s %s", r.Method, r.URL.Path))
@@ -117,15 +128,25 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error 
 	return nil
 }
 
-// reply runs one core operation with request metrics and renders its
-// JSON result or structured error.
+// reply runs one core operation with request metrics, panic isolation,
+// and renders its JSON result or structured error. A panicking handler
+// becomes a structured 500 and an increment of ca_server_panics_total
+// instead of a killed process; the deferred accounting and the machine
+// pool's Reset-on-Get keep the server consistent afterwards.
 func (s *Server) reply(w http.ResponseWriter, _ *http.Request, op func() (any, error)) {
 	s.col.Requests.Inc()
 	s.col.InFlight.Add(1)
 	start := time.Now()
+	defer func() {
+		s.col.RequestSeconds.Observe(time.Since(start).Seconds())
+		s.col.InFlight.Add(-1)
+		if r := recover(); r != nil {
+			s.col.Panics.Inc()
+			s.col.RequestErrors.Inc()
+			writeError(w, errf(http.StatusInternalServerError, "internal panic: %v", r))
+		}
+	}()
 	out, err := op()
-	s.col.RequestSeconds.Observe(time.Since(start).Seconds())
-	s.col.InFlight.Add(-1)
 	if err != nil {
 		s.col.RequestErrors.Inc()
 		writeError(w, err)

@@ -19,11 +19,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ca "cacheautomaton"
+	"cacheautomaton/internal/faults"
 	"cacheautomaton/internal/telemetry"
 )
 
@@ -49,6 +52,13 @@ type Config struct {
 	// SessionIdle reaps sessions idle longer than this (default 5m;
 	// negative disables the reaper).
 	SessionIdle time.Duration
+	// RequestTimeout bounds the execution of one Match or Feed once it
+	// starts running (queue wait is bounded separately by QueueWait).
+	// Scans check the deadline at chunk granularity, so a timed-out
+	// request stops within machine.ContextCheckBytes symbols and returns
+	// its leased machines. 0 disables the server-side deadline; client
+	// disconnects still cancel via the request context.
+	RequestTimeout time.Duration
 	// Registry receives the server's metrics (nil uses telemetry.Default()).
 	Registry *telemetry.Registry
 }
@@ -113,6 +123,14 @@ type Server struct {
 	sessions map[string]*session
 	draining bool
 	nextID   uint64
+	// wal, when non-nil, is the session write-ahead log (AttachWAL).
+	// Set once before serving; guarded by mu for the attach itself.
+	wal *wal
+
+	// ready is the readiness signal behind /readyz: the daemon flips it
+	// false at drain start, before any listener closes, so load
+	// balancers stop routing while in-flight work still completes.
+	ready atomic.Bool
 
 	// slots is the bounded match-worker pool; queued counts waiters.
 	slots  chan struct{}
@@ -139,12 +157,175 @@ func New(cfg Config) *Server {
 		stopReaper: make(chan struct{}),
 		reaperDone: make(chan struct{}),
 	}
+	s.ready.Store(true)
 	if cfg.SessionIdle > 0 {
 		go s.reapIdleSessions()
 	} else {
 		close(s.reaperDone)
 	}
 	return s
+}
+
+// ReplayStats summarizes what AttachWAL recovered.
+type ReplayStats struct {
+	// Rulesets and Sessions count what was recompiled and resumed.
+	Rulesets, Sessions int
+	// SkippedSessions counts checkpoints that could not be resumed (their
+	// ruleset failed to recompile, or the snapshot was rejected).
+	SkippedSessions int
+}
+
+// AttachWAL opens (creating if needed) the session write-ahead log in
+// dir, replays it — recompiling every logged rule set and resuming every
+// checkpointed session under its original session id — and then starts
+// logging this server's own state changes to it. Call it after New and
+// before serving traffic; sessions resumed from the log continue
+// bit-identically with the stream state they had at their last
+// acknowledged feed (the paper's §2.9 suspend/resume state vector,
+// made durable).
+func (s *Server) AttachWAL(dir string) (*ReplayStats, error) {
+	s.mu.RLock()
+	attached := s.wal != nil
+	s.mu.RUnlock()
+	if attached {
+		return nil, fmt.Errorf("wal: already attached")
+	}
+	w, recs, err := openWAL(dir, 0, s.col)
+	if err != nil {
+		return nil, err
+	}
+	st := &ReplayStats{}
+	var maxID uint64
+	for _, rec := range recs {
+		if rec.Kind != "compile" || rec.Req == nil {
+			continue
+		}
+		if _, err := s.Compile(rec.Name, *rec.Req); err != nil {
+			continue // the checkpoints referencing it are counted skipped below
+		}
+		st.Rulesets++
+	}
+	for _, rec := range recs {
+		if rec.Kind == "nextid" && rec.NextID > maxID {
+			maxID = rec.NextID
+		}
+		if rec.Kind != "checkpoint" {
+			continue
+		}
+		if n, ok := parseSessionID(rec.ID); ok && n > maxID {
+			maxID = n
+		}
+		if s.resumeFromWAL(&rec) {
+			st.Sessions++
+		} else {
+			st.SkippedSessions++
+		}
+	}
+	s.col.WALReplayed.Add(int64(len(recs)))
+	s.mu.Lock()
+	if s.nextID < maxID {
+		s.nextID = maxID
+	}
+	s.wal = w
+	s.mu.Unlock()
+	return st, nil
+}
+
+// resumeFromWAL restores one checkpointed session, preserving its id so
+// clients reconnect to the session they were feeding before the crash.
+func (s *Server) resumeFromWAL(rec *walRecord) bool {
+	rs, err := s.ruleset(rec.Ruleset)
+	if err != nil {
+		return false
+	}
+	snap, err := base64.StdEncoding.DecodeString(rec.SnapB64)
+	if err != nil {
+		return false
+	}
+	stream, err := rs.a.ResumeStream(bytes.NewReader(snap))
+	if err != nil {
+		return false
+	}
+	sess := &session{id: rec.ID, ruleset: rec.Ruleset, stream: stream, lastUsed: time.Now()}
+	s.mu.Lock()
+	if _, dup := s.sessions[sess.id]; dup || len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		stream.Close()
+		return false
+	}
+	s.sessions[sess.id] = sess
+	s.col.SessionsActive.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	s.col.SessionsResumed.Inc()
+	return true
+}
+
+// parseSessionID extracts the numeric counter from an "s%08d" id.
+func parseSessionID(id string) (uint64, bool) {
+	if len(id) < 2 || id[0] != 's' {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	return n, err == nil
+}
+
+// walAppend logs one record when a WAL is attached. Append failures are
+// already counted (ca_wal_errors_total) and must not fail the serving
+// operation that triggered them: the client's response is the source of
+// truth, the WAL is best-effort durability whose next checkpoint
+// supersedes a lost one.
+func (s *Server) walAppend(rec walRecord) {
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	if w == nil {
+		return
+	}
+	// Tombstones get retries where ordinary records don't: a lost
+	// checkpoint is superseded by the session's next checkpoint, but a
+	// lost close/delete tombstone has no successor record — replay would
+	// resurrect state the client was told is gone.
+	attempts := 1
+	if _, tombstone := rec.key(); tombstone {
+		attempts = 5
+	}
+	for i := 0; i < attempts; i++ {
+		if w.Append(rec) == nil {
+			return
+		}
+	}
+}
+
+// walCheckpoint logs a session's current architectural state so a
+// crashed server resumes it from exactly this point. Caller must hold
+// sess.mu (or otherwise own the stream exclusively); the Suspend —
+// which the paper's tiny state vectors make cheap — is skipped
+// entirely when no WAL is attached.
+func (s *Server) walCheckpoint(sess *session) {
+	s.mu.RLock()
+	attached := s.wal != nil
+	s.mu.RUnlock()
+	if !attached {
+		return
+	}
+	var buf bytes.Buffer
+	if err := sess.stream.Suspend(&buf); err != nil {
+		return
+	}
+	s.walAppend(walRecord{
+		Kind:    "checkpoint",
+		ID:      sess.id,
+		Ruleset: sess.ruleset,
+		SnapB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+	})
+}
+
+// opCtx applies the server-side execution deadline, when configured.
+func (s *Server) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	return ctx, func() {}
 }
 
 // begin registers one in-flight operation, rejecting it when the server
@@ -244,6 +425,8 @@ func (s *Server) Compile(name string, req CompileRequest) (*RulesetInfo, error) 
 	s.rulesets[name] = rs
 	s.col.Rulesets.Set(int64(len(s.rulesets)))
 	s.mu.Unlock()
+	reqCopy := req
+	s.walAppend(walRecord{Kind: "compile", Name: name, Req: &reqCopy})
 	info := rs.info
 	return &info, nil
 }
@@ -281,12 +464,14 @@ func sortRulesets(rs []RulesetInfo) {
 // DeleteRuleset unloads a rule set. Open sessions on it keep running.
 func (s *Server) DeleteRuleset(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.rulesets[name]; !ok {
+		s.mu.Unlock()
 		return errf(http.StatusNotFound, "no ruleset %q", name)
 	}
 	delete(s.rulesets, name)
 	s.col.Rulesets.Set(int64(len(s.rulesets)))
+	s.mu.Unlock()
+	s.walAppend(walRecord{Kind: "delete", Name: name})
 	return nil
 }
 
@@ -362,6 +547,15 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 		return nil, err
 	}
 	defer release()
+	// Execution-phase injection point: fires after admission (slot held),
+	// before any machine is leased, modeling an I/O fault at dispatch.
+	if err := faults.Check("server.match"); err != nil {
+		return nil, errc(http.StatusInternalServerError, err, "run: %v", err)
+	}
+	// The execution deadline starts once a worker slot is held; queue
+	// wait is already bounded by QueueWait above.
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
 	var (
 		ms []ca.Match
 		st *ca.Stats
@@ -373,12 +567,16 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 		shards = s.cfg.MaxShards
 	}
 	if shards > 1 {
-		ms, st, err = rs.a.RunParallel(input, shards)
+		ms, st, err = rs.a.RunParallelContext(ctx, input, shards)
 	} else {
-		ms, st, err = rs.a.Run(input)
+		ms, st, err = rs.a.RunContext(ctx, input)
 	}
 	if err != nil {
-		return nil, errf(http.StatusInternalServerError, "run: %v", err)
+		if ctx.Err() != nil {
+			s.col.Timeouts.Inc()
+			return nil, errc(http.StatusGatewayTimeout, ctx.Err(), "run canceled: %v", ctx.Err())
+		}
+		return nil, errc(http.StatusInternalServerError, err, "run: %v", err)
 	}
 	s.col.MatchInputBytes.Add(int64(len(input)))
 	s.col.MatchReports.Add(int64(len(ms)))
@@ -395,6 +593,9 @@ func (s *Server) OpenSession(req OpenSessionRequest) (*SessionInfo, error) {
 	defer done()
 	if req.Ruleset == "" {
 		return nil, errf(http.StatusBadRequest, "missing ruleset")
+	}
+	if err := faults.Check("server.open"); err != nil {
+		return nil, errc(http.StatusInternalServerError, err, "open: %v", err)
 	}
 	rs, err := s.ruleset(req.Ruleset)
 	if err != nil {
@@ -439,6 +640,13 @@ func (s *Server) OpenSession(req OpenSessionRequest) (*SessionInfo, error) {
 	if resumed {
 		s.col.SessionsResumed.Inc()
 	}
+	// The counter mark survives this session's own close tombstone, so a
+	// restarted server never re-issues the id (see walRecord.NextID).
+	n, _ := parseSessionID(sess.id)
+	s.walAppend(walRecord{Kind: "nextid", NextID: n})
+	sess.mu.Lock()
+	s.walCheckpoint(sess)
+	sess.mu.Unlock()
 	return &SessionInfo{Session: sess.id, Ruleset: sess.ruleset, Pos: stream.Pos()}, nil
 }
 
@@ -477,7 +685,14 @@ func (s *Server) session(id string) (*session, error) {
 // Feed appends a chunk to a session's stream and returns its matches.
 // Feeds on one session serialize; feeds on different sessions run
 // concurrently.
-func (s *Server) Feed(id string, req FeedRequest) (*FeedResponse, error) {
+//
+// Cancellation contract: if ctx expires before any symbol is consumed
+// the feed fails with 504 and is safely retryable. If it expires
+// mid-chunk, the matches found so far are delivered with Truncated set
+// and Pos reporting how far the stream advanced — the client resumes by
+// re-sending the unconsumed suffix. Either way the session stays open
+// and consistent.
+func (s *Server) Feed(ctx context.Context, id string, req FeedRequest) (*FeedResponse, error) {
 	done, err := s.begin()
 	if err != nil {
 		return nil, err
@@ -487,19 +702,39 @@ func (s *Server) Feed(id string, req FeedRequest) (*FeedResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := faults.Check("server.feed"); err != nil {
+		return nil, errc(http.StatusInternalServerError, err, "feed: %v", err)
+	}
 	sess, err := s.session(id)
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.closed {
 		return nil, errf(http.StatusConflict, "session %q is closed", id)
 	}
 	sess.lastUsed = time.Now()
-	ms := sess.stream.Feed(chunk)
-	s.col.SessionBytes.Add(int64(len(chunk)))
+	before := sess.stream.Pos()
+	ms, ferr := sess.stream.FeedContext(ctx, chunk)
+	consumed := sess.stream.Pos() - before
+	s.col.SessionBytes.Add(consumed)
 	s.col.MatchReports.Add(int64(len(ms)))
+	if consumed > 0 {
+		s.walCheckpoint(sess)
+	}
+	if ferr != nil {
+		s.col.Timeouts.Inc()
+		if consumed == 0 {
+			// Nothing consumed: the feed never happened; retry is safe.
+			return nil, errc(http.StatusGatewayTimeout, ferr, "feed canceled: %v", ferr)
+		}
+		// Partially consumed: deliver what was matched so the client can
+		// resume from Pos without losing or duplicating reports.
+		return &FeedResponse{Matches: wireMatches(ms), Pos: sess.stream.Pos(), Truncated: true}, nil
+	}
 	return &FeedResponse{Matches: wireMatches(ms), Pos: sess.stream.Pos()}, nil
 }
 
@@ -514,6 +749,9 @@ func (s *Server) Suspend(id string) (*SuspendResponse, error) {
 		return nil, err
 	}
 	defer done()
+	if err := faults.Check("server.suspend"); err != nil {
+		return nil, errc(http.StatusInternalServerError, err, "suspend: %v", err)
+	}
 	sess, err := s.session(id)
 	if err != nil {
 		return nil, err
@@ -532,7 +770,7 @@ func (s *Server) Suspend(id string) (*SuspendResponse, error) {
 		Pos:         sess.stream.Pos(),
 		SnapshotB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
 	}
-	s.removeSession(sess)
+	s.removeSession(sess, false)
 	s.col.SessionsSuspended.Inc()
 	return resp, nil
 }
@@ -553,19 +791,63 @@ func (s *Server) CloseSession(id string) error {
 	if sess.closed {
 		return errf(http.StatusConflict, "session %q is closed", id)
 	}
-	s.removeSession(sess)
+	s.removeSession(sess, false)
 	return nil
 }
 
 // removeSession closes the stream (returning its machine to the lease
 // pool) and drops the session from the table. Caller holds sess.mu.
-func (s *Server) removeSession(sess *session) {
+//
+// keepCheckpoint selects the WAL policy: an explicit close, suspend or
+// idle-reap tombstones the session's checkpoint (it must not come back
+// after a restart), while graceful drain passes true so the checkpoint
+// survives and the next server instance resumes the session.
+func (s *Server) removeSession(sess *session, keepCheckpoint bool) {
 	sess.closed = true
 	sess.stream.Close()
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
 	s.col.SessionsActive.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
+	if !keepCheckpoint {
+		s.walAppend(walRecord{Kind: "close", ID: sess.id})
+	}
+}
+
+// LeaseStats sums the machine-lease accounting of every loaded rule
+// set's pools. The serving invariant — checked by the chaos harness —
+// is Gets == Puts + open sessions: every one-shot lease returned, every
+// open session holding exactly one machine, nothing stranded by faults,
+// panics or cancellations.
+func (s *Server) LeaseStats() ca.LeaseStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total ca.LeaseStats
+	for _, rs := range s.rulesets {
+		st := rs.a.LeaseStats()
+		total.Gets += st.Gets
+		total.Puts += st.Puts
+	}
+	return total
+}
+
+// Readyz reports readiness: whether the server should receive new
+// traffic. It flips false at drain start (SetReady), before any
+// listener closes, so load balancers stop routing while in-flight work
+// still completes. Liveness (Healthz) stays truthful throughout.
+func (s *Server) Readyz() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.draining
+}
+
+// SetReady flips the readiness signal without affecting serving; the
+// daemon calls SetReady(false) as the first step of its drain sequence.
+func (s *Server) SetReady(ready bool) {
+	s.ready.Store(ready)
 }
 
 // Healthz reports liveness.
@@ -603,7 +885,7 @@ func (s *Server) reapIdleSessions() {
 			for _, sess := range stale {
 				sess.mu.Lock()
 				if !sess.closed && sess.lastUsed.Before(cutoff) {
-					s.removeSession(sess)
+					s.removeSession(sess, false)
 					s.col.SessionsExpired.Inc()
 				}
 				sess.mu.Unlock()
@@ -612,12 +894,15 @@ func (s *Server) reapIdleSessions() {
 	}
 }
 
-// Shutdown drains the server: new operations are refused with 503, and
-// the call blocks until every in-flight operation has completed (so no
-// delivered-but-unread matches are dropped) or ctx expires. Open sessions
-// are then closed, returning their leased machines. Shutdown is
-// idempotent.
+// Shutdown drains the server: readiness flips false, new operations are
+// refused with 503, and the call blocks until every in-flight operation
+// has completed (so no delivered-but-unread matches are dropped) or ctx
+// expires. Open sessions are then closed, returning their leased
+// machines — their WAL checkpoints are deliberately kept (not
+// tombstoned), so a graceful restart resumes them exactly like a crash
+// recovery would. Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
@@ -652,9 +937,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, sess := range open {
 		sess.mu.Lock()
 		if !sess.closed {
-			s.removeSession(sess)
+			// keepCheckpoint: drained sessions must survive the restart.
+			s.removeSession(sess, true)
 		}
 		sess.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	w := s.wal
+	s.wal = nil
+	s.mu.Unlock()
+	if w != nil {
+		w.Close()
 	}
 	return err
 }

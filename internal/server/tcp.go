@@ -5,10 +5,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"sync"
 	"time"
+
+	"cacheautomaton/internal/faults"
 )
 
 // The TCP transport frames the same API as one JSON object per line: the
@@ -176,6 +179,12 @@ func (t *TCPServer) serveConn(conn *tcpConn) {
 		delete(t.conns, conn)
 		t.mu.Unlock()
 	}()
+	// Dropped-connection injection point: the conn dies before serving a
+	// line, as if the network reset it — clients must see a clean close,
+	// and the server must leak nothing.
+	if faults.Check("server.tcp.conn") != nil {
+		return
+	}
 	sc := bufio.NewScanner(conn)
 	// Lines carry base64 payloads: size the scanner for the body cap plus
 	// base64 expansion and envelope overhead.
@@ -204,8 +213,10 @@ func (t *TCPServer) serveConn(conn *tcpConn) {
 }
 
 // dispatch decodes and executes one line. Malformed input yields a
-// structured error line, never a dropped connection or a panic.
-func (t *TCPServer) dispatch(line []byte) any {
+// structured error line, never a dropped connection or a panic; a
+// panicking op is recovered into a structured 500 line (the same
+// isolation the HTTP transport's reply applies).
+func (t *TCPServer) dispatch(line []byte) (resp any) {
 	s := t.s
 	s.col.Requests.Inc()
 	s.col.InFlight.Add(1)
@@ -213,6 +224,11 @@ func (t *TCPServer) dispatch(line []byte) any {
 	defer func() {
 		s.col.RequestSeconds.Observe(time.Since(start).Seconds())
 		s.col.InFlight.Add(-1)
+		if r := recover(); r != nil {
+			s.col.Panics.Inc()
+			s.col.RequestErrors.Inc()
+			resp = tcpErr{Error: fmt.Sprintf("internal panic: %v", r), Status: http.StatusInternalServerError}
+		}
 	}()
 	var req tcpRequest
 	if err := json.Unmarshal(line, &req); err != nil {
@@ -251,7 +267,7 @@ func (t *TCPServer) execute(req *tcpRequest) (any, error) {
 	case "open":
 		return s.OpenSession(OpenSessionRequest{Ruleset: req.Ruleset, SnapshotB64: req.SnapshotB64})
 	case "feed":
-		return s.Feed(req.ID, FeedRequest{Chunk: req.Chunk, ChunkB64: req.ChunkB64})
+		return s.Feed(context.Background(), req.ID, FeedRequest{Chunk: req.Chunk, ChunkB64: req.ChunkB64})
 	case "suspend":
 		return s.Suspend(req.ID)
 	case "close":

@@ -36,6 +36,19 @@ type ServerCollector struct {
 	SessionBytes *Counter
 	// Rulesets is the number of compiled rule sets currently loaded.
 	Rulesets *Gauge
+	// Panics counts handler/worker panics recovered by the resilience
+	// layer (each one returned a structured 500 instead of killing the
+	// process).
+	Panics *Counter
+	// Timeouts counts operations stopped by deadline-aware cancellation
+	// (Config.RequestTimeout or a client disconnect).
+	Timeouts *Counter
+	// WALRecords / WALReplayed count session-WAL records appended and
+	// records replayed at startup; WALErrors counts append failures
+	// (after which the WAL fail-stops until restart).
+	WALRecords  *Counter
+	WALReplayed *Counter
+	WALErrors   *Counter
 }
 
 // NewServerCollector registers the serving metrics (names prefixed
@@ -61,5 +74,10 @@ func NewServerCollector(reg *Registry) *ServerCollector {
 		SessionsExpired:   reg.Counter("ca_server_sessions_expired_total", "sessions reaped by the idle timeout"),
 		SessionBytes:      reg.Counter("ca_server_session_bytes_total", "bytes fed through streaming sessions"),
 		Rulesets:          reg.Gauge("ca_server_rulesets", "compiled rule sets loaded"),
+		Panics:            reg.Counter("ca_server_panics_total", "handler/worker panics recovered into structured errors"),
+		Timeouts:          reg.Counter("ca_server_timeouts_total", "operations stopped by deadline-aware cancellation"),
+		WALRecords:        reg.Counter("ca_wal_records_total", "session WAL records appended"),
+		WALReplayed:       reg.Counter("ca_wal_replayed_total", "session WAL records replayed at startup"),
+		WALErrors:         reg.Counter("ca_wal_errors_total", "session WAL append failures (WAL fail-stops)"),
 	}
 }
