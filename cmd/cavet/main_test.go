@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seededModule is a synthetic module carrying one instance of each bug
+// class cavet exists to catch, marked with // SEED:<analyzer> comments.
+// The test derives each expected finding position from its marker, so
+// the fixtures can be edited without recounting lines.
+var seededModule = map[string]string{
+	"go.mod": "module example.com/seeded\n\ngo 1.21\n",
+
+	"machine/machine.go": `package machine
+
+import "context"
+
+type Machine struct{}
+
+func (m *Machine) Run(in []byte) {}
+
+func (m *Machine) RunContext(ctx context.Context, in []byte) error {
+	m.Run(in)
+	return ctx.Err()
+}
+
+type Pool struct{}
+
+func (p *Pool) Get() (*Machine, error) { return &Machine{}, nil }
+func (p *Pool) Put(m *Machine)         {}
+`,
+
+	// The PR 3 deadlock: session.mu acquired while Server.mu is held.
+	"server/server.go": `package server
+
+import "sync"
+
+type Server struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+}
+
+type session struct {
+	mu sync.Mutex
+}
+
+func (s *Server) Broadcast() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sess := range s.sessions {
+		sess.mu.Lock() // SEED:lockorder
+		sess.mu.Unlock()
+	}
+}
+`,
+
+	"server/serve.go": `package server
+
+import (
+	"context"
+
+	"example.com/seeded/machine"
+)
+
+func (s *Server) Match(ctx context.Context, p *machine.Pool, in []byte) error {
+	m, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer p.Put(m)
+	m.Run(in) // SEED:ctxpropagate
+	return nil
+}
+
+func (s *Server) Lease(p *machine.Pool) {
+	m, _ := p.Get() // SEED:leasebalance
+	m.Run(nil)
+}
+
+type wal struct{}
+
+func (w *wal) Append(rec []byte) error { return nil }
+
+func (s *Server) snapshot(w *wal) {
+	w.Append(nil) // SEED:errdrop
+}
+`,
+}
+
+// markerLine returns the 1-based line of the marker in src.
+func markerLine(t *testing.T, src, marker string) int {
+	t.Helper()
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not found", marker)
+	return 0
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestSeededBugsAreCaught(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+
+	expected := []struct {
+		file, marker, analyzer string
+	}{
+		{"server/server.go", "SEED:lockorder", "lockorder"},
+		{"server/serve.go", "SEED:ctxpropagate", "ctxpropagate"},
+		{"server/serve.go", "SEED:leasebalance", "leasebalance"},
+		{"server/serve.go", "SEED:errdrop", "errdrop"},
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	for _, want := range expected {
+		line := markerLine(t, seededModule[want.file], "// "+want.marker)
+		prefix := fmt.Sprintf("%s:%d:", want.file, line)
+		found := false
+		for _, out := range lines {
+			if strings.HasPrefix(out, prefix) && strings.Contains(out, ": "+want.analyzer+": ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s finding at %s\noutput:\n%s", want.analyzer, prefix, &stdout)
+		}
+	}
+	if len(lines) != len(expected) {
+		t.Errorf("got %d findings, want %d:\n%s", len(lines), len(expected), &stdout)
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/clean\n\ngo 1.21\n",
+		"ok.go":  "package clean\n\nfunc OK() int { return 1 }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean module produced output:\n%s", &stdout)
+	}
+}
+
+func TestSuppressedSeedIsSilent(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module example.com/quiet\n\ngo 1.21\n",
+		"w.go": `package quiet
+
+type wal struct{}
+
+func (w *wal) Append(rec []byte) error { return nil }
+
+func snapshot(w *wal) {
+	//cavet:ignore errdrop exercising the suppression path end to end
+	w.Append(nil)
+}
+`,
+	}
+	dir := writeModule(t, files)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s", code, &stdout)
+	}
+}
+
+func TestMissingReasonIsAFinding(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module example.com/noreason\n\ngo 1.21\n",
+		"w.go": `package noreason
+
+type wal struct{}
+
+func (w *wal) Append(rec []byte) error { return nil }
+
+func snapshot(w *wal) {
+	//cavet:ignore errdrop
+	w.Append(nil)
+}
+`,
+	}
+	dir := writeModule(t, files)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, &stdout)
+	}
+	if !strings.Contains(stdout.String(), "cavet: malformed suppression") {
+		t.Errorf("missing-reason directive not reported:\n%s", &stdout)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"lockorder", "leasebalance", "ctxpropagate", "errdrop", "atomicmix", "metricname"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, &stdout)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-C", t.TempDir(), "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("no go.mod: exit = %d, want 2", code)
+	}
+	if code := run([]string{"a", "b"}, &stdout, &stderr); code != 2 {
+		t.Errorf("extra args: exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,112 @@
+// Package analysistest runs an analyzer over a small synthetic module
+// under testdata and checks its findings against // want annotations in
+// the sources, the way the real analyzer drivers do it:
+//
+//	pool.Get() // want "never returned"
+//
+// asserts that the analyzer reports a finding on this line whose
+// message contains the quoted substring. Every annotation must be
+// matched by a finding and every finding by an annotation, so both
+// false negatives and false positives fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cacheautomaton/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want annotation.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run loads the module rooted at dir (relative paths resolve against
+// the test's working directory), applies the analyzer, and diffs
+// findings against the // want annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, includeTests bool) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := analysis.Load(analysis.LoadConfig{Dir: abs, IncludeTests: includeTests})
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	findings := analysis.Run(u, []*analysis.Analyzer{a})
+
+	want, err := collectWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !claim(want, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s finding containing %q", w.file, w.line, a.Name, w.substr)
+		}
+	}
+}
+
+// claim marks the first unmatched annotation that covers f.
+func claim(want []*expectation, f analysis.Finding) bool {
+	for _, w := range want {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line &&
+			strings.Contains(f.Analyzer+": "+f.Message, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every .go file under dir for // want comments.
+func collectWants(dir string) ([]*expectation, error) {
+	var want []*expectation
+	fset := token.NewFileSet()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sub, err := filepath.Glob(filepath.Join(dir, "*", "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	paths = append(paths, sub...)
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				want = append(want, &expectation{
+					file:   path,
+					line:   pos.Line,
+					substr: strings.ReplaceAll(m[1], `\"`, `"`),
+				})
+			}
+		}
+	}
+	return want, nil
+}

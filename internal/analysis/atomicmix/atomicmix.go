@@ -1,0 +1,125 @@
+// Package atomicmix flags fields that are accessed both through
+// sync/atomic and through plain loads or stores. Mixing the two races:
+// the plain access has no ordering against the atomic one, and the race
+// detector only catches it when both sides execute in one test run. A
+// field is either always-atomic or always-locked — never both.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"cacheautomaton/internal/analysis"
+)
+
+// Analyzer reports mixed atomic/plain field access.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "atomicmix",
+		Doc:  "a field touched via sync/atomic must never also be accessed with plain loads/stores",
+		Run:  run,
+	}
+}
+
+func run(u *analysis.Unit) []analysis.Finding {
+	// Pass 1 (whole unit): every field object that is ever handed to a
+	// sync/atomic function by address. Keyed by name because package
+	// variants duplicate objects.
+	atomicFields := make(map[string]bool)
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					if key, ok := fieldKey(pkg.Info, un.X); ok {
+						atomicFields[key] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain selector uses of those fields outside atomic calls.
+	var fs []analysis.Finding
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			v := &visitor{u: u, pkg: pkg, atomic: atomicFields}
+			ast.Inspect(file, v.visit)
+			fs = append(fs, v.fs...)
+		}
+	}
+	return fs
+}
+
+type visitor struct {
+	u      *analysis.Unit
+	pkg    *analysis.Pkg
+	atomic map[string]bool
+	fs     []analysis.Finding
+}
+
+func (v *visitor) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if isAtomicCall(v.pkg.Info, n) {
+			return false // the atomic access itself, and its &field args
+		}
+	case *ast.UnaryExpr:
+		if n.Op.String() == "&" {
+			// Taking the address without an atomic call around it is how
+			// the field reaches helper wrappers; not a plain load/store.
+			if _, ok := fieldKey(v.pkg.Info, n.X); ok {
+				return false
+			}
+		}
+	case *ast.SelectorExpr:
+		if key, ok := fieldKey(v.pkg.Info, n); ok && v.atomic[key] {
+			v.fs = append(v.fs, analysis.Finding{
+				Pos: v.u.Position(n.Pos()),
+				Message: fmt.Sprintf("plain access to %s, which is elsewhere accessed via sync/atomic; use the atomic API consistently",
+					key),
+			})
+			return false
+		}
+	}
+	return true
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldKey names a struct-field selector as "pkg.Type.field".
+func fieldKey(info *types.Info, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := analysis.NamedOf(s.Recv())
+	if recv == nil {
+		return "", false
+	}
+	return analysis.TypeClass(recv) + "." + s.Obj().Name(), true
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/atomicmix"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/atomictest", atomicmix.Analyzer(), false)
+}

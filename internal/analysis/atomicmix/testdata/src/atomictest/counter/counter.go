@@ -1,0 +1,43 @@
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Stats struct {
+	mu      sync.Mutex
+	hits    int64 // atomic
+	misses  int64 // under mu
+	flushed int64 // atomic, with one suppressed racy read
+}
+
+func (s *Stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+
+// Snapshot reads hits with a plain load while writers go through
+// atomic.AddInt64: unordered, and invisible to the race detector unless
+// both sides run in one test.
+func (s *Stats) Snapshot() int64 {
+	return s.hits // want "plain access"
+}
+
+// SnapshotOK uses the atomic API consistently; no finding.
+func (s *Stats) SnapshotOK() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Miss guards misses with the mutex everywhere; plain access to a
+// never-atomic field is fine.
+func (s *Stats) Miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+func (s *Stats) Flush() { atomic.AddInt64(&s.flushed, 1) }
+
+// FlushedRacy tolerates a torn read on purpose.
+func (s *Stats) FlushedRacy() int64 {
+	//cavet:ignore atomicmix fixture: approximate read is this test's subject
+	return s.flushed
+}

@@ -1,0 +1,3 @@
+module example.com/atomictest
+
+go 1.21

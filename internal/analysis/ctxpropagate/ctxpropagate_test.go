@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/ctxpropagate"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxtest", ctxpropagate.Analyzer(), false)
+}

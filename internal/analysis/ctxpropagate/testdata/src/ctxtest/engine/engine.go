@@ -1,0 +1,30 @@
+// Package engine mirrors the real module's context-twin convention:
+// Run/RunContext, Feed/FeedContext, with the *Context variant wrapping
+// the blind one.
+package engine
+
+import "context"
+
+type Machine struct{}
+
+func (m *Machine) Run(in []byte) {}
+
+// RunContext is the wrapper: calling the blind Run inside it is the
+// implementation, not a propagation bug.
+func (m *Machine) RunContext(ctx context.Context, in []byte) error {
+	if ctx.Done() == nil {
+		m.Run(in)
+		return nil
+	}
+	m.Run(in)
+	return ctx.Err()
+}
+
+type Session struct{}
+
+func (s *Session) Feed(chunk []byte) {}
+
+func (s *Session) FeedContext(ctx context.Context, chunk []byte) error {
+	s.Feed(chunk)
+	return ctx.Err()
+}

@@ -1,0 +1,3 @@
+module example.com/ctxtest
+
+go 1.21

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"example.com/ctxtest/engine"
+)
+
+// Process drops the caller's deadline on the floor: the ctx is right
+// there, and Run has a RunContext twin.
+func Process(ctx context.Context, m *engine.Machine, in []byte) {
+	m.Run(in) // want "use RunContext"
+}
+
+// FeedAll does the same through a different twin pair.
+func FeedAll(ctx context.Context, s *engine.Session, chunks [][]byte) {
+	for _, c := range chunks {
+		s.Feed(c) // want "use FeedContext"
+	}
+}
+
+// ProcessOK propagates; no finding.
+func ProcessOK(ctx context.Context, m *engine.Machine, in []byte) error {
+	return m.RunContext(ctx, in)
+}
+
+// NoCtx has no context in scope, so there is nothing to propagate and
+// no finding: context-blind callers are the twins' reason to exist.
+func NoCtx(m *engine.Machine, in []byte) {
+	m.Run(in)
+}
+
+// Detach severs the chain: the callee gets a root context and outlives
+// the caller's deadline.
+func Detach(ctx context.Context, m *engine.Machine, in []byte) error {
+	return m.RunContext(context.Background(), in) // want "fresh context.Background"
+}
+
+// Derive goes through package context, which is the sanctioned way to
+// detach (a drain path wanting its own timeout); no finding.
+func Derive(ctx context.Context, m *engine.Machine, in []byte) error {
+	dctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return m.RunContext(dctx, in)
+}
+
+// Intentional detaches on purpose, with a justified suppression.
+func Intentional(ctx context.Context, m *engine.Machine, in []byte) {
+	//cavet:ignore ctxpropagate fixture: blind call is this test's subject
+	m.Run(in)
+}

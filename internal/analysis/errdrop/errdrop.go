@@ -1,0 +1,181 @@
+// Package errdrop flags discarded errors on the durability path. A
+// dropped error from a WAL append, a file Sync, or an injected fault
+// seam turns a detectable failure into silent data loss — the crash
+// harness can only verify recovery of what the write path admitted to
+// losing. The check is deliberately narrow: it covers the module's
+// durability-critical calls, not every error in the tree.
+package errdrop
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"cacheautomaton/internal/analysis"
+)
+
+// Analyzer reports dropped durability-path errors.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "errdrop",
+		Doc:       "errors from WAL, file sync/write and fault seams must not be discarded",
+		SkipTests: true,
+		Run:       run,
+	}
+}
+
+func run(u *analysis.Unit) []analysis.Finding {
+	var fs []analysis.Finding
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+						if what, critical := criticalCall(pkg.Info, call); critical {
+							fs = append(fs, finding(u, call, what, "discarded"))
+						}
+					}
+				case *ast.AssignStmt:
+					fs = append(fs, checkAssign(u, pkg, n)...)
+				case *ast.DeferStmt, *ast.GoStmt:
+					// `defer f.Close()` at end of scope is the idiomatic
+					// best-effort cleanup; the fsync-before-rename pattern
+					// makes the Close error non-load-bearing there.
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// checkAssign flags `_ = w.Append(...)` and multi-assigns that blank
+// the error result of a critical call.
+func checkAssign(u *analysis.Unit, pkg *analysis.Pkg, as *ast.AssignStmt) []analysis.Finding {
+	var fs []analysis.Finding
+	// Single RHS call whose results are destructured.
+	if len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		what, critical := criticalCall(pkg.Info, call)
+		if !critical {
+			return nil
+		}
+		fn := callFunc(pkg.Info, call)
+		if fn == nil {
+			return nil
+		}
+		errIdx := analysis.ErrorResultIndex(fn.Type().(*types.Signature))
+		if errIdx < 0 || errIdx >= len(as.Lhs) {
+			return nil
+		}
+		if id, ok := as.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+			fs = append(fs, finding(u, call, what, "assigned to _"))
+		}
+		return fs
+	}
+	// Parallel assign: a, b = f(), g().
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		what, critical := criticalCall(pkg.Info, call)
+		if !critical {
+			continue
+		}
+		if i < len(as.Lhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				fs = append(fs, finding(u, call, what, "assigned to _"))
+			}
+		}
+	}
+	return fs
+}
+
+func finding(u *analysis.Unit, call *ast.CallExpr, what, how string) analysis.Finding {
+	return analysis.Finding{
+		Pos: u.Position(call.Pos()),
+		Message: fmt.Sprintf("error from %s %s; durability-path errors must be handled or folded into the caller's return",
+			what, how),
+	}
+}
+
+// callFunc resolves the called *types.Func for either a static call or
+// an interface method call.
+func callFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	if fn := analysis.StaticCallee(info, call); fn != nil {
+		return fn
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			fn, _ := s.Obj().(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// criticalCall decides whether the call's error is durability-critical:
+//   - (*os.File).Write / Sync / Close
+//   - any method named Append or Close on a type named wal
+//   - an io.Writer-shaped Write([]byte) (int, error) on any receiver
+//   - faults.Check — the injected-fault seam; dropping it un-injects
+//     the fault and invalidates the resilience harness
+func criticalCall(info *types.Info, call *ast.CallExpr) (what string, critical bool) {
+	fn := callFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || analysis.ErrorResultIndex(sig) < 0 {
+		return "", false
+	}
+	// Package function: faults.Check.
+	if sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Name() == "faults" && fn.Name() == "Check" {
+			return "faults.Check", true
+		}
+		return "", false
+	}
+	recv := analysis.NamedOf(sig.Recv().Type())
+	if recv == nil {
+		// Interface receiver: io.Writer-shaped Write.
+		if fn.Name() == "Write" && isWriteSig(sig) {
+			return "Write", true
+		}
+		return "", false
+	}
+	cls := analysis.TypeClass(recv)
+	switch {
+	case cls == "os.File" && (fn.Name() == "Write" || fn.Name() == "Sync" || fn.Name() == "Close"):
+		return "(*os.File)." + fn.Name(), true
+	case recv.Obj().Name() == "wal" && (fn.Name() == "Append" || fn.Name() == "Close"):
+		return cls + "." + fn.Name(), true
+	case fn.Name() == "Write" && isWriteSig(sig):
+		return cls + ".Write", true
+	}
+	return "", false
+}
+
+// isWriteSig matches Write([]byte) (int, error).
+func isWriteSig(sig *types.Signature) bool {
+	p, r := sig.Params(), sig.Results()
+	if p.Len() != 1 || r.Len() != 2 {
+		return false
+	}
+	s, ok := p.At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().(*types.Basic)
+	if !ok || b.Kind() != types.Byte {
+		return false
+	}
+	first, ok := r.At(0).Type().(*types.Basic)
+	return ok && first.Kind() == types.Int
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/errdrop"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errtest", errdrop.Analyzer(), false)
+}

@@ -1,0 +1,5 @@
+// Package faults mirrors the real injection seam: Check's error IS the
+// injected fault, so dropping it un-injects the fault.
+package faults
+
+func Check(point string) error { return nil }

@@ -1,0 +1,3 @@
+module example.com/errtest
+
+go 1.21

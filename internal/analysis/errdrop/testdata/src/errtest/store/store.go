@@ -1,0 +1,52 @@
+package store
+
+import (
+	"io"
+	"os"
+
+	"example.com/errtest/faults"
+)
+
+type wal struct {
+	f *os.File
+}
+
+func (w *wal) Append(rec []byte) error { return nil }
+func (w *wal) Close() error            { return nil }
+
+// checkpoint drops errors all the way down the durability path.
+func checkpoint(w *wal, f *os.File, out io.Writer) {
+	w.Append(nil)        // want "wal.Append discarded"
+	_ = f.Sync()         // want "assigned to _"
+	f.Write(nil)         // want "os.File).Write discarded"
+	out.Write(nil)       // want "Write discarded"
+	faults.Check("seam") // want "faults.Check discarded"
+}
+
+// handled threads every error out; no findings.
+func handled(w *wal, f *os.File) error {
+	if err := w.Append(nil); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	// Best-effort cleanup at end of scope is the sanctioned use of a
+	// dropped Close.
+	defer f.Close()
+	return w.Close()
+}
+
+// folded collects the close error the way Shutdown does; no finding.
+func folded(w *wal) (err error) {
+	if cerr := w.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// intentional drops a superseded handle's close result on purpose.
+func intentional(old *os.File) {
+	//cavet:ignore errdrop fixture: superseded handle, rename is the durability point
+	old.Close()
+}

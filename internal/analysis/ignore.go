@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppressions are written in the source as
+//
+//	//cavet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// either on the flagged line or on the line directly above it. The
+// reason is mandatory: a suppression without a recorded justification is
+// itself reported as a finding, so "quietly turned the checker off"
+// can't pass review. The analyzer list may be "all".
+const ignorePrefix = "//cavet:ignore"
+
+// directive is one parsed ignore comment.
+type directive struct {
+	analyzers map[string]bool
+	all       bool
+}
+
+// directiveSet indexes directives by file and line.
+type directiveSet map[string]map[int]*directive
+
+// suppresses reports whether a directive on the finding's line (or the
+// line above it) covers the finding's analyzer.
+func (ds directiveSet) suppresses(f Finding) bool {
+	lines := ds[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if d := lines[line]; d != nil && (d.all || d.analyzers[f.Analyzer]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores parses every //cavet:ignore comment in the unit.
+// Malformed directives (no analyzer list, or no reason) come back as
+// findings under the "cavet" analyzer name.
+func collectIgnores(u *Unit) (directiveSet, []Finding) {
+	ds := make(directiveSet)
+	var bad []Finding
+	seen := make(map[string]bool) // filename → parsed (packages can share files across variants)
+	for _, pkg := range u.Pkgs {
+		for i, file := range pkg.Files {
+			name := pkg.Filenames[i]
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					collectIgnoreComment(u, ds, &bad, name, c)
+				}
+			}
+		}
+	}
+	return ds, bad
+}
+
+func collectIgnoreComment(u *Unit, ds directiveSet, bad *[]Finding, filename string, c *ast.Comment) {
+	if !strings.HasPrefix(c.Text, ignorePrefix) {
+		return
+	}
+	pos := u.Position(c.Pos())
+	rest := strings.TrimPrefix(c.Text, ignorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return // some other //cavet:ignoreXYZ token, not ours
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		*bad = append(*bad, Finding{
+			Pos:      pos,
+			Analyzer: "cavet",
+			Message:  "malformed suppression: want //cavet:ignore <analyzer>[,<analyzer>] <reason>",
+		})
+		return
+	}
+	d := &directive{analyzers: make(map[string]bool)}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name == "all" {
+			d.all = true
+		}
+		d.analyzers[name] = true
+	}
+	if ds[filename] == nil {
+		ds[filename] = make(map[int]*directive)
+	}
+	ds[filename][pos.Line] = d
+}

@@ -1,0 +1,12 @@
+package leasebalance_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/leasebalance"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/leasetest", leasebalance.Analyzer(), false)
+}

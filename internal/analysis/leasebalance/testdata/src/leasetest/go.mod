@@ -1,0 +1,3 @@
+module example.com/leasetest
+
+go 1.21

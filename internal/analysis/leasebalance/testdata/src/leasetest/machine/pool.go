@@ -1,0 +1,20 @@
+// Package machine mirrors the real lease pool's API shape: what
+// leasebalance keys on is the type name Pool and the Get/GetN/Put/
+// PutAll method names.
+package machine
+
+import "sync"
+
+type Machine struct{}
+
+func (m *Machine) Run(input []byte) {}
+
+type Pool struct {
+	mu   sync.Mutex
+	free []*Machine
+}
+
+func (p *Pool) Get() (*Machine, error)         { return &Machine{}, nil }
+func (p *Pool) GetN(n int) ([]*Machine, error) { return make([]*Machine, n), nil }
+func (p *Pool) Put(m *Machine)                 {}
+func (p *Pool) PutAll(ms []*Machine)           {}

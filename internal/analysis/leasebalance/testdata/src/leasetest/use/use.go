@@ -1,0 +1,76 @@
+package use
+
+import "example.com/leasetest/machine"
+
+// Leak takes a lease, runs it, and forgets it: the machine never goes
+// back to the free list.
+func Leak(p *machine.Pool) {
+	m, _ := p.Get() // want "never returned"
+	m.Run(nil)
+}
+
+// Drop discards the lease at the call site.
+func Drop(p *machine.Pool) {
+	p.Get() // want "never returned"
+}
+
+// Blank leaks through the blank identifier.
+func Blank(p *machine.Pool) {
+	_, _ = p.Get() // want "never returned"
+}
+
+// Balanced is the canonical shape; no finding.
+func Balanced(p *machine.Pool) error {
+	m, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer p.Put(m)
+	m.Run(nil)
+	return nil
+}
+
+// BalancedN returns a batch with PutAll; no finding.
+func BalancedN(p *machine.Pool) error {
+	ms, err := p.GetN(3)
+	if err != nil {
+		return err
+	}
+	defer p.PutAll(ms)
+	return nil
+}
+
+// Escapes hands the lease to the caller, who owns it now; no finding.
+func Escapes(p *machine.Pool) (*machine.Machine, error) {
+	return p.Get()
+}
+
+func EscapesVar(p *machine.Pool) *machine.Machine {
+	m, _ := p.Get()
+	return m
+}
+
+type stream struct {
+	m *machine.Machine
+}
+
+// Stored parks the lease in a long-lived struct; its Close path owns
+// the Put. No finding.
+func Stored(p *machine.Pool) *stream {
+	m, _ := p.Get()
+	return &stream{m: m}
+}
+
+// Captured defers the Put through a closure; no finding.
+func Captured(p *machine.Pool) {
+	m, _ := p.Get()
+	defer func() { p.Put(m) }()
+	m.Run(nil)
+}
+
+// Intentional leaks on purpose, with a justified suppression.
+func Intentional(p *machine.Pool) {
+	//cavet:ignore leasebalance fixture: the leak is this test's subject
+	m, _ := p.Get()
+	m.Run(nil)
+}

@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadConfig tells Load what to parse and typecheck.
+type LoadConfig struct {
+	// Dir is the module root: the directory holding go.mod (or, for
+	// synthetic test modules, the directory ModulePath maps to).
+	Dir string
+	// ModulePath overrides the module path; empty reads Dir/go.mod.
+	ModulePath string
+	// IncludeTests also loads _test.go files: in-package test files are
+	// typechecked as an augmented variant of their package, external
+	// _test packages as their own unit.
+	IncludeTests bool
+	// BuildTags are extra build constraints satisfied during file
+	// selection, so tag-gated files are analyzed rather than skipped.
+	BuildTags []string
+}
+
+// Load parses and typechecks every package under cfg.Dir, resolving
+// in-module imports against the freshly loaded packages and everything
+// else (the standard library) through the compiler's source importer.
+func Load(cfg LoadConfig) (*Unit, error) {
+	if cfg.ModulePath == "" {
+		mp, err := modulePath(filepath.Join(cfg.Dir, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		cfg.ModulePath = mp
+	}
+	ld := &loader{
+		cfg:   cfg,
+		fset:  token.NewFileSet(),
+		base:  make(map[string]*checked),
+		files: make(map[string]*dirFiles),
+	}
+	// The source importer typechecks dependencies from source via
+	// go/build; disabling cgo there selects the pure-Go variants of
+	// packages like net, which need no C toolchain to analyze.
+	ld.ctxt = build.Default
+	ld.ctxt.CgoEnabled = false
+	ld.ctxt.BuildTags = append(ld.ctxt.BuildTags, cfg.BuildTags...)
+	build.Default.CgoEnabled = false
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	dirs, err := ld.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{Fset: ld.fset}
+	for _, dir := range dirs {
+		pkgs, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		u.Pkgs = append(u.Pkgs, pkgs...)
+	}
+	return u, nil
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+type loader struct {
+	cfg  LoadConfig
+	fset *token.FileSet
+	ctxt build.Context
+	std  types.Importer
+	// base caches importable (non-test) package typechecks by import
+	// path; a nil entry marks an in-progress load (import cycle guard).
+	base map[string]*checked
+	// files caches parsed directories (dir → groups) so the import pass
+	// and the analysis pass parse each file once.
+	files map[string]*dirFiles
+}
+
+// checked is one completed base-package typecheck.
+type checked struct {
+	pkg  *types.Package
+	info *types.Info
+}
+
+type dirFiles struct {
+	base, inTest, extTest []*parsedFile
+}
+
+type parsedFile struct {
+	name string
+	file *ast.File
+}
+
+// packageDirs walks the module tree for directories containing Go files.
+func (ld *loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(ld.cfg.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.cfg.Dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walk: %w", err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// importPathFor maps a module directory to its import path.
+func (ld *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.cfg.Dir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return ld.cfg.ModulePath, nil
+	}
+	return ld.cfg.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps an in-module import path back to its directory.
+func (ld *loader) dirFor(path string) string {
+	if path == ld.cfg.ModulePath {
+		return ld.cfg.Dir
+	}
+	rel := strings.TrimPrefix(path, ld.cfg.ModulePath+"/")
+	return filepath.Join(ld.cfg.Dir, filepath.FromSlash(rel))
+}
+
+// parseDir parses the directory's Go files that match the build
+// constraints, split into the non-test, in-package-test and external-test
+// groups. Results are cached per directory.
+func (ld *loader) parseDir(dir string) (*dirFiles, error) {
+	if df, ok := ld.files[dir]; ok {
+		return df, nil
+	}
+	df := &dirFiles{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if ok, merr := ld.ctxt.MatchFile(dir, name); merr != nil || !ok {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, perr := parser.ParseFile(ld.fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, perr
+		}
+		pf := &parsedFile{name: full, file: f}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			df.base = append(df.base, pf)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			df.extTest = append(df.extTest, pf)
+		default:
+			df.inTest = append(df.inTest, pf)
+		}
+	}
+	ld.files[dir] = df
+	return df, nil
+}
+
+// Import implements types.Importer over the module being analyzed, with
+// a source-importer fallback for everything else.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == ld.cfg.ModulePath || strings.HasPrefix(path, ld.cfg.ModulePath+"/") {
+		c, err := ld.loadBase(ld.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		return c.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// loadBase typechecks (once) the importable, non-test variant of the
+// package in dir.
+func (ld *loader) loadBase(dir string) (*checked, error) {
+	path, err := ld.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := ld.base[path]; ok {
+		if c == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return c, nil
+	}
+	ld.base[path] = nil
+	df, err := ld.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(df.base) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	pkg, info, err := ld.check(path, df.base)
+	if err != nil {
+		return nil, err
+	}
+	c := &checked{pkg: pkg, info: info}
+	ld.base[path] = c
+	return c, nil
+}
+
+// check runs the typechecker over one file group.
+func (ld *loader) check(path string, files []*parsedFile) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: ld}
+	asts := make([]*ast.File, len(files))
+	for i, f := range files {
+		asts[i] = f.file
+	}
+	pkg, err := conf.Check(path, ld.fset, asts, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// loadDir produces the analyzable package variants for one directory:
+// the production package (augmented with in-package test files when
+// IncludeTests is set, so test code is checked without double-reporting
+// the production files) plus any external _test package.
+func (ld *loader) loadDir(dir string) ([]*Pkg, error) {
+	path, err := ld.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	df, err := ld.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	base, inTest, extTest := df.base, df.inTest, df.extTest
+	if len(base) == 0 && len(inTest) == 0 && len(extTest) == 0 {
+		return nil, nil
+	}
+	var out []*Pkg
+	mk := func(path string, files []*parsedFile, tpkg *types.Package, info *types.Info, test bool) *Pkg {
+		p := &Pkg{Path: path, Name: tpkg.Name(), Types: tpkg, Info: info, Test: test}
+		for _, f := range files {
+			p.Files = append(p.Files, f.file)
+			p.Filenames = append(p.Filenames, f.name)
+		}
+		return p
+	}
+	switch {
+	case ld.cfg.IncludeTests && len(inTest) > 0:
+		// Typecheck base separately first so importers see the plain
+		// package, then the augmented variant for analysis. Cross-package
+		// analyzers key objects by name, not identity, so the variant's
+		// distinct object instances are harmless.
+		if len(base) > 0 {
+			if _, err := ld.loadBase(dir); err != nil {
+				return nil, err
+			}
+		}
+		files := append(append([]*parsedFile{}, base...), inTest...)
+		tpkg, info, err := ld.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mk(path, files, tpkg, info, true))
+	case len(base) > 0:
+		c, err := ld.loadBase(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mk(path, base, c.pkg, c.info, false))
+	}
+	if ld.cfg.IncludeTests && len(extTest) > 0 {
+		tpkg, info, err := ld.check(path+"_test", extTest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mk(path+"_test", extTest, tpkg, info, true))
+	}
+	return out, nil
+}

@@ -1,0 +1,574 @@
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+
+	"cacheautomaton/internal/analysis"
+)
+
+// New builds the analyzer against an explicit order table (tests use
+// synthetic tables); Analyzer() uses the module's table from order.go.
+func New(order []Level, leaf int) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "lockorder",
+		Doc:  "enforce the documented global lock-acquisition order and reject cycles",
+		Run: func(u *analysis.Unit) []analysis.Finding {
+			return run(u, order, leaf)
+		},
+	}
+}
+
+// Analyzer checks against the repo's documented order.
+func Analyzer() *analysis.Analyzer { return New(Order, leafRank) }
+
+// summary is what one function contributes to the lock graph: every
+// lock class it can acquire, directly or through in-module calls (a
+// lock acquired and released inside a callee still orders against
+// whatever the caller holds).
+type summary struct {
+	acquires map[string]token.Pos
+}
+
+// edge is one observed "B acquired while A held" pair.
+type edge struct{ from, to string }
+
+type graph struct {
+	u       *analysis.Unit
+	sums    map[string]*summary // key: types.Func FullName
+	edges   map[edge]token.Pos
+	changed bool
+}
+
+func run(u *analysis.Unit, order []Level, leaf int) []analysis.Finding {
+	rank := func(class string) (int, bool) { return rankOf(order, class) }
+	g := &graph{u: u, sums: make(map[string]*summary), edges: make(map[edge]token.Pos)}
+	// Interprocedural fixpoint: re-walk every function until no summary
+	// grows. Acquire sets only ever grow, so this terminates; the module
+	// call graph is shallow, so a handful of passes suffice.
+	for pass := 0; pass < 12; pass++ {
+		g.changed = false
+		for _, pkg := range u.Pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if ok && fd.Body != nil {
+						g.walkFunc(pkg, fd)
+					}
+				}
+			}
+		}
+		if !g.changed {
+			break
+		}
+	}
+
+	if os.Getenv("CAVET_LOCKGRAPH") != "" {
+		dumpGraph(g)
+	}
+
+	var fs []analysis.Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		fs = append(fs, analysis.Finding{Pos: u.Position(pos), Message: fmt.Sprintf(format, args...)})
+	}
+	adj := make(map[string][]string)
+	for e, pos := range g.edges {
+		fromRank, fromKnown := rank(e.from)
+		toRank, toKnown := rank(e.to)
+		switch {
+		case e.from == e.to:
+			report(pos, "lock %s acquired while an instance of %s is already held (self-deadlock risk)", e.to, e.from)
+			continue // already a finding; keep it out of cycle detection
+		case fromKnown && fromRank >= leaf:
+			report(pos, "leaf lock %s (rank %d) held while acquiring %s; leaf locks must be innermost", e.from, fromRank, e.to)
+			continue
+		case fromKnown && toKnown && fromRank >= toRank:
+			report(pos, "lock order inversion: %s (rank %d) acquired while holding %s (rank %d); the documented order (lockorder.Order) requires the reverse", e.to, toRank, e.from, fromRank)
+			continue
+		case fromKnown && !toKnown:
+			report(pos, "undocumented lock nesting: %s acquired under %s; add %s to lockorder.Order (and DESIGN.md) or restructure", e.to, e.from, e.to)
+			continue
+		}
+		// unknown → anything: entering the documented region from outside
+		// is fine; cycles among such edges are still caught below, over
+		// the subgraph of edges that are individually legal.
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	fs = append(fs, findCycles(g, adj)...)
+	return fs
+}
+
+// dumpGraph prints the observed lock graph to stderr (set
+// CAVET_LOCKGRAPH=1); it is how the Order table is audited against
+// reality when locks are added or moved.
+func dumpGraph(g *graph) {
+	type row struct {
+		e   edge
+		pos token.Position
+	}
+	rows := make([]row, 0, len(g.edges))
+	for e, pos := range g.edges {
+		rows = append(rows, row{e, g.u.Position(pos)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].e.from != rows[j].e.from {
+			return rows[i].e.from < rows[j].e.from
+		}
+		return rows[i].e.to < rows[j].e.to
+	})
+	for _, r := range rows {
+		fmt.Fprintf(os.Stderr, "lockgraph: %s -> %s (first at %s)\n", r.e.from, r.e.to, r.pos)
+	}
+}
+
+// findCycles reports each cycle in the observed graph once.
+func findCycles(g *graph, adj map[string][]string) []analysis.Finding {
+	var fs []analysis.Finding
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, to := range adj {
+		sort.Strings(to)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var visit func(n string)
+	reported := make(map[string]bool)
+	visit = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			switch color[m] {
+			case white:
+				visit(m)
+			case gray:
+				// Found a back edge: the cycle is stack[i..] + m.
+				i := len(stack) - 1
+				for i > 0 && stack[i] != m {
+					i--
+				}
+				cyc := append(append([]string{}, stack[i:]...), m)
+				key := strings.Join(cyc, "→")
+				if !reported[key] {
+					reported[key] = true
+					pos := g.edges[edge{from: stack[len(stack)-1], to: m}]
+					fs = append(fs, analysis.Finding{
+						Pos:     g.u.Position(pos),
+						Message: fmt.Sprintf("lock-acquisition cycle: %s", strings.Join(cyc, " → ")),
+					})
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+	return fs
+}
+
+// heldLock is one lock class currently held by the walked path.
+type heldLock struct {
+	class string
+}
+
+// funcWalker walks one function body in source order, tracking the held
+// set and recording edges and acquisitions.
+type funcWalker struct {
+	g    *graph
+	pkg  *analysis.Pkg
+	sum  *summary
+	held []heldLock
+	// closures maps local variables bound to func literals, so calls
+	// through them propagate the literal's acquisitions.
+	closures map[types.Object]*ast.FuncLit
+	// expanding guards against (mutually) recursive closures: a literal
+	// already being expanded on this walk path is not entered again.
+	expanding map[*ast.FuncLit]bool
+}
+
+func (g *graph) walkFunc(pkg *analysis.Pkg, fd *ast.FuncDecl) {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	key := obj.FullName()
+	old := g.sums[key]
+	sum := &summary{acquires: make(map[string]token.Pos)}
+	w := &funcWalker{g: g, pkg: pkg, sum: sum,
+		closures: make(map[types.Object]*ast.FuncLit), expanding: make(map[*ast.FuncLit]bool)}
+	w.collectClosures(fd.Body)
+	w.stmt(fd.Body)
+	if old == nil || len(sum.acquires) > len(old.acquires) {
+		g.sums[key] = sum
+		g.changed = true
+	}
+}
+
+// collectClosures pre-indexes `v := func(){...}` bindings in the body.
+func (w *funcWalker) collectClosures(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := w.pkg.Info.Defs[id]; obj != nil {
+				w.closures[obj] = lit
+			} else if obj := w.pkg.Info.Uses[id]; obj != nil {
+				w.closures[obj] = lit
+			}
+		}
+		return true
+	})
+}
+
+func (w *funcWalker) snapshot() []heldLock { return append([]heldLock{}, w.held...) }
+
+func (w *funcWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.stmt(st)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock "held" for the rest of the
+		// function, which is exactly the defer's semantics. Other
+		// deferred calls are approximated as running at the defer site.
+		if class, locks, ok := w.lockOp(s.Call); ok {
+			if locks {
+				w.acquire(class, s.Call.Pos())
+			}
+			return // deferred unlock: leave held as is
+		}
+		w.call(s.Call)
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the spawner's held set
+		// (no single-goroutine ordering), and its acquisitions are not
+		// part of this function's synchronous summary. Named callees are
+		// analyzed as their own roots; walk literals here the same way.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.asRoot(lit)
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		saved := w.snapshot()
+		w.stmt(s.Body)
+		w.held = saved
+		if s.Else != nil {
+			w.stmt(s.Else)
+			w.held = saved
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		saved := w.snapshot()
+		w.stmt(s.Body)
+		w.stmt(s.Post)
+		w.held = saved
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		saved := w.snapshot()
+		w.stmt(s.Body)
+		w.held = saved
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.clauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.clauses(s.Body)
+	case *ast.SelectStmt:
+		w.clauses(s.Body)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+func (w *funcWalker) clauses(body *ast.BlockStmt) {
+	saved := w.snapshot()
+	for _, st := range body.List {
+		switch c := st.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e)
+			}
+			for _, s := range c.Body {
+				w.stmt(s)
+			}
+		case *ast.CommClause:
+			w.stmt(c.Comm)
+			for _, s := range c.Body {
+				w.stmt(s)
+			}
+		}
+		w.held = append(w.held[:0], saved...)
+	}
+}
+
+// expr walks an expression, handling every call inside it in source
+// order.
+func (w *funcWalker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.call(n)
+			return false // call() walks the arguments itself
+		case *ast.FuncLit:
+			// A bare literal in expression position (not called here):
+			// its body runs later with an unknown held set; analyze as
+			// an isolated root so its own nesting is still checked.
+			w.asRoot(n)
+			return false
+		}
+		return true
+	})
+}
+
+// call handles one call expression against the current held set.
+func (w *funcWalker) call(call *ast.CallExpr) {
+	// Arguments are evaluated before the call itself.
+	for _, a := range call.Args {
+		switch arg := a.(type) {
+		case *ast.FuncLit:
+			// A literal passed as an argument (sync.Once.Do, callbacks):
+			// assume the callee may invoke it synchronously under the
+			// current held set.
+			w.inline(arg)
+		default:
+			w.expr(arg)
+		}
+	}
+	if class, locks, ok := w.lockOp(call); ok {
+		if locks {
+			w.acquire(class, call.Pos())
+		} else {
+			w.release(class)
+		}
+		return
+	}
+	// Inline literal call: func(){...}() runs here, under the held set.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.inline(lit)
+		return
+	}
+	// Call through a local closure binding.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := w.pkg.Info.Uses[id]; obj != nil {
+			if lit, bound := w.closures[obj]; bound {
+				w.inline(lit)
+				return
+			}
+		}
+	}
+	// Static in-module call: propagate the callee's acquisitions.
+	if fn := analysis.StaticCallee(w.pkg.Info, call); fn != nil {
+		if sum := w.g.sums[fn.FullName()]; sum != nil {
+			for class := range sum.acquires {
+				w.acquireTransitive(class, call.Pos())
+			}
+		}
+	}
+}
+
+// inline walks a literal's body as if it ran at the current program
+// point, under the current held set. Recursive closures are entered at
+// most once per walk path.
+func (w *funcWalker) inline(lit *ast.FuncLit) {
+	if w.expanding[lit] {
+		return
+	}
+	w.expanding[lit] = true
+	w.stmt(lit.Body)
+	delete(w.expanding, lit)
+}
+
+// asRoot analyzes a literal that runs outside this function's
+// synchronous flow (go statement, stored callback): fresh held set,
+// acquisitions not merged into this function's summary.
+func (w *funcWalker) asRoot(lit *ast.FuncLit) {
+	if w.expanding[lit] {
+		return
+	}
+	w.expanding[lit] = true
+	inner := &funcWalker{g: w.g, pkg: w.pkg, sum: &summary{acquires: map[string]token.Pos{}},
+		closures: w.closures, expanding: w.expanding}
+	inner.stmt(lit.Body)
+	delete(w.expanding, lit)
+}
+
+// acquire records a direct acquisition: edges from everything held, and
+// the class joins both the held set and the summary.
+func (w *funcWalker) acquire(class string, pos token.Pos) {
+	w.recordEdges(class, pos)
+	w.addAcquire(class, pos)
+	w.held = append(w.held, heldLock{class: class})
+}
+
+// acquireTransitive records a callee's acquisition happening during a
+// call made with the current held set; the lock is released again by
+// the callee, so the held set does not grow.
+func (w *funcWalker) acquireTransitive(class string, pos token.Pos) {
+	w.recordEdges(class, pos)
+	w.addAcquire(class, pos)
+}
+
+func (w *funcWalker) recordEdges(class string, pos token.Pos) {
+	for _, h := range w.held {
+		e := edge{from: h.class, to: class}
+		if _, ok := w.g.edges[e]; !ok {
+			w.g.edges[e] = pos
+			w.g.changed = true
+		}
+	}
+}
+
+func (w *funcWalker) addAcquire(class string, pos token.Pos) {
+	if _, ok := w.sum.acquires[class]; !ok {
+		w.sum.acquires[class] = pos
+	}
+}
+
+func (w *funcWalker) release(class string) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].class == class {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// lockOp decides whether call is a sync.Mutex/RWMutex (R)Lock/(R)Unlock
+// and resolves the lock class.
+func (w *funcWalker) lockOp(call *ast.CallExpr) (class string, locks, ok bool) {
+	fn, named, isMethod := analysis.MethodCall(w.pkg.Info, call)
+	if !isMethod || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false, false
+	}
+	rn := analysis.NamedOf(recv.Type())
+	if rn == nil || (rn.Obj().Name() != "Mutex" && rn.Obj().Name() != "RWMutex") {
+		return "", false, false
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	return w.classOf(sel.X, named), locks, true
+}
+
+// classOf names the lock behind expr (the receiver of the Lock call):
+// "pkg.Type.field" for struct fields, "pkg.Type.Mutex" for an embedded
+// mutex promoted to the outer type, "pkg.var" for package-level
+// mutexes, and a position-qualified name for locals.
+func (w *funcWalker) classOf(expr ast.Expr, named *types.Named) string {
+	expr = ast.Unparen(expr)
+	// Embedded mutex: x.Lock() where x's type embeds sync.Mutex. The
+	// method-selection receiver is then the outer named type.
+	if named != nil && named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex" {
+		return analysis.TypeClass(named) + ".Mutex"
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := w.pkg.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if rn := analysis.NamedOf(s.Recv()); rn != nil {
+				return analysis.TypeClass(rn) + "." + s.Obj().Name()
+			}
+		}
+		// Qualified package-level var: pkg.mu.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := w.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := w.pkg.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Name() + "." + v.Name()
+				}
+			}
+		}
+	case *ast.Ident:
+		if v, ok := w.pkg.Info.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			// Local or aliased mutex: name it by declaration site so two
+			// different locals never collapse into one class.
+			p := w.g.u.Position(v.Pos())
+			return fmt.Sprintf("%s.%s@%s:%d", w.pkg.Name, v.Name(), shortFile(p.Filename), p.Line)
+		}
+	}
+	p := w.g.u.Position(expr.Pos())
+	return fmt.Sprintf("%s.lock@%s:%d", w.pkg.Name, shortFile(p.Filename), p.Line)
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

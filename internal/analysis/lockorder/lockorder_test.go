@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/lockorder"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockordertest", lockorder.Analyzer(), false)
+}

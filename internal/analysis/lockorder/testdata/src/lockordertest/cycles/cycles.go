@@ -1,0 +1,25 @@
+// Package cycles holds two locks outside the documented table; the
+// analyzer has no ranks for them, but the A→B→A shape is still a
+// guaranteed deadlock and must be reported.
+package cycles
+
+import "sync"
+
+type T struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (t *T) one() {
+	t.a.Lock()
+	t.b.Lock()
+	t.b.Unlock()
+	t.a.Unlock()
+}
+
+func (t *T) two() {
+	t.b.Lock()
+	t.a.Lock() // want "lock-acquisition cycle"
+	t.a.Unlock()
+	t.b.Unlock()
+}

@@ -1,0 +1,3 @@
+module example.com/lockordertest
+
+go 1.21

@@ -1,0 +1,31 @@
+// Package machine reproduces the leaf-ranked machine.Pool.mu class.
+package machine
+
+import "sync"
+
+type Pool struct {
+	mu    sync.Mutex
+	auxMu sync.Mutex
+	free  []int
+}
+
+// Bad holds the leaf-ranked Pool.mu across another acquisition; leaves
+// must be innermost no matter what the other lock is.
+func (p *Pool) Bad() {
+	p.mu.Lock()
+	p.auxMu.Lock() // want "leaf lock"
+	p.auxMu.Unlock()
+	p.mu.Unlock()
+}
+
+// Get releases before touching anything else; no finding.
+func (p *Pool) Get() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return -1
+	}
+	m := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return m
+}

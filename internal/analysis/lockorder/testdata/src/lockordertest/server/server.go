@@ -1,0 +1,102 @@
+// Package server reproduces the real module's lock classes by name
+// (pkg.Type.field), so the production order table applies: session.mu
+// (10) before Server.mu (20) before TCPServer.mu (30) before
+// tcpConn.mu (40) before wal.mu (80).
+package server
+
+import "sync"
+
+type Server struct {
+	mu       sync.RWMutex
+	auxMu    sync.Mutex
+	sessions map[string]*session
+}
+
+type session struct {
+	mu sync.Mutex
+	id string
+}
+
+type TCPServer struct {
+	mu sync.Mutex
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+}
+
+type wal struct {
+	mu sync.Mutex
+}
+
+// Broadcast is the PR 3 deadlock shape: session.mu taken under
+// Server.mu, the reverse of the documented order.
+func (s *Server) Broadcast() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sess := range s.sessions {
+		sess.mu.Lock() // want "lock order inversion"
+		sess.mu.Unlock()
+	}
+}
+
+// remove follows the documented direction; no finding.
+func (s *Server) remove(sess *session) {
+	sess.mu.Lock()
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	sess.mu.Unlock()
+}
+
+// Aux nests an unlisted lock under a listed one: the table (and
+// DESIGN.md) must be extended or the nesting removed.
+func (s *Server) Aux() {
+	s.mu.Lock()
+	s.auxMu.Lock() // want "undocumented lock nesting"
+	s.auxMu.Unlock()
+	s.mu.Unlock()
+}
+
+// Pair locks two sessions at once: both are one lock class, and nothing
+// orders the instances, so two Pairs running in opposite order deadlock.
+func Pair(a, b *session) {
+	a.mu.Lock()
+	b.mu.Lock() // want "self-deadlock"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (t *TCPServer) claim() {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// Compact inverts wal.mu (80) under TCPServer.mu (30) transitively: the
+// acquisition happens inside claim, not at a visible Lock call.
+func (w *wal) Compact(t *TCPServer) {
+	w.mu.Lock()
+	t.claim() // want "lock order inversion"
+	w.mu.Unlock()
+}
+
+// Handoff inverts tcpConn.mu (40) under TCPServer.mu (30), but the
+// suppression directive (with its mandatory reason) silences it.
+func Handoff(t *TCPServer, c *tcpConn) {
+	c.mu.Lock()
+	//cavet:ignore lockorder fixture: demonstrates a justified suppression
+	t.mu.Lock()
+	t.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Feed exercises the legal full chain: session.mu, then Server.mu, then
+// wal.mu, ranks strictly ascending.
+func (s *Server) Feed(sess *session, w *wal) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.mu.Lock()
+	w.mu.Unlock()
+}

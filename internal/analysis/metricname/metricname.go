@@ -1,0 +1,144 @@
+// Package metricname enforces the telemetry naming contract: every
+// metric registered on a telemetry Registry is named
+// ca_<tokens> with lowercase [a-z0-9] tokens, counters end in _total,
+// gauges and histograms do not, unit tokens (seconds, bytes) sit at the
+// end of the base name, and each name is registered from exactly one
+// call site. Dashboards and alert rules key on these names; a renamed
+// or double-registered metric breaks them silently.
+package metricname
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"cacheautomaton/internal/analysis"
+)
+
+// Analyzer reports metric naming violations.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "metricname",
+		Doc:       "metrics must match ca_*_{total,seconds,bytes} naming and register once",
+		SkipTests: true,
+		Run:       run,
+	}
+}
+
+var nameRE = regexp.MustCompile(`^ca(_[a-z0-9]+)+$`)
+
+type site struct {
+	pos  ast.Node
+	pkg  *analysis.Pkg
+	kind string // Counter, Gauge, FloatGauge, Histogram
+	name string
+}
+
+func run(u *analysis.Unit) []analysis.Finding {
+	var sites []site
+	var fs []analysis.Finding
+	for _, pkg := range u.Pkgs {
+		for i, file := range pkg.Files {
+			if analysis.IsTestFile(pkg.Filenames[i]) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := registryCall(pkg.Info, call)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok {
+					fs = append(fs, analysis.Finding{
+						Pos:     u.Position(call.Args[0].Pos()),
+						Message: "metric name must be a string literal so the naming contract is statically checkable",
+					})
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				sites = append(sites, site{pos: call, pkg: pkg, kind: kind, name: name})
+				return true
+			})
+		}
+	}
+
+	byName := make(map[string][]site)
+	for _, s := range sites {
+		byName[s.name] = append(byName[s.name], s)
+		fs = append(fs, checkName(u, s)...)
+	}
+	for name, ss := range byName {
+		if len(ss) > 1 {
+			for _, s := range ss[1:] {
+				fs = append(fs, analysis.Finding{
+					Pos: u.Position(s.pos.Pos()),
+					Message: fmt.Sprintf("metric %q registered at %d call sites; each metric must have exactly one registration site",
+						name, len(ss)),
+				})
+			}
+		}
+	}
+	return fs
+}
+
+// registryCall matches r.Counter/Gauge/FloatGauge/Histogram where r is
+// a type named Registry.
+func registryCall(info *types.Info, call *ast.CallExpr) (kind string, ok bool) {
+	fn, named, isMethod := analysis.MethodCall(info, call)
+	if !isMethod || named == nil || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "FloatGauge", "Histogram":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func checkName(u *analysis.Unit, s site) []analysis.Finding {
+	var fs []analysis.Finding
+	bad := func(format string, args ...any) {
+		fs = append(fs, analysis.Finding{
+			Pos:     u.Position(s.pos.Pos()),
+			Message: fmt.Sprintf("metric %q: ", s.name) + fmt.Sprintf(format, args...),
+		})
+	}
+	if !nameRE.MatchString(s.name) {
+		bad("name must match ^ca(_[a-z0-9]+)+$")
+		return fs
+	}
+	total := strings.HasSuffix(s.name, "_total")
+	switch s.kind {
+	case "Counter":
+		if !total {
+			bad("counters must end in _total")
+		}
+	case "Gauge", "Histogram":
+		if total {
+			bad("%ss must not end in _total; that suffix promises a monotonic counter", strings.ToLower(s.kind))
+		}
+		// FloatGauge is exempt both ways: accumulating float gauges
+		// (ca_run_seconds_total) are counters in spirit, instantaneous
+		// ones are gauges.
+	}
+	// Unit tokens must close the base name: "seconds" or "bytes" may
+	// only be the final token, or the one right before a final _total.
+	base := strings.TrimSuffix(s.name, "_total")
+	tokens := strings.Split(base, "_")
+	for i, tok := range tokens {
+		if (tok == "seconds" || tok == "bytes") && i != len(tokens)-1 {
+			bad("unit token %q must end the base name (before any _total suffix)", tok)
+		}
+	}
+	return fs
+}

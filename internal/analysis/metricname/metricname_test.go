@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/metricname"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/metrictest", metricname.Analyzer(), false)
+}

@@ -1,0 +1,30 @@
+package app
+
+import "example.com/metrictest/telemetry"
+
+func register(r *telemetry.Registry) {
+	r.Counter("ca_requests_total", "ok")
+	r.Gauge("ca_queue_depth", "ok")
+	r.FloatGauge("ca_run_seconds_total", "ok: accumulating float gauge")
+	r.Histogram("ca_request_seconds", "ok", nil)
+
+	r.Counter("ca_requests", "no _total")                  // want "counters must end in _total"
+	r.Gauge("ca_inflight_total", "gauge with _total")      // want "must not end in _total"
+	r.Counter("requests_total", "bad prefix")              // want "must match"
+	r.Counter("ca_Bad_total", "uppercase token")           // want "must match"
+	r.Counter("ca_bytes_read_total", "unit not last")      // want "unit token"
+	r.Histogram("ca_feed_latency_total", "histogram", nil) // want "must not end in _total"
+}
+
+func dynamic(r *telemetry.Registry, name string) {
+	r.Counter(name, "dynamic") // want "string literal"
+}
+
+func duplicate(r *telemetry.Registry) {
+	r.Counter("ca_requests_total", "again") // want "registered at 2 call sites"
+}
+
+func suppressed(r *telemetry.Registry) {
+	//cavet:ignore metricname fixture: legacy dashboard name kept on purpose
+	r.Counter("legacy_hits", "grandfathered")
+}

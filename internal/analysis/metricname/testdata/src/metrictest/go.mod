@@ -1,0 +1,3 @@
+module example.com/metrictest
+
+go 1.21

@@ -1,0 +1,50 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cacheautomaton/internal/analysis"
+	"cacheautomaton/internal/analysis/suite"
+)
+
+// TestRepoIsCavetClean is the gate the whole PR hangs on: the repo at
+// HEAD, tests included, produces zero findings. Any change that
+// introduces a lock inversion, a leaked lease, a broken context chain,
+// a dropped durability error, mixed atomics, or a bad metric name
+// fails this test — and therefore the ordinary `go test ./...` run,
+// not just the separate cavet CI step.
+func TestRepoIsCavetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module including stdlib; skipped in -short")
+	}
+	root := moduleRoot(t)
+	u, err := analysis.Load(analysis.LoadConfig{Dir: root, IncludeTests: true})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	findings := analysis.Run(u, suite.All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -81,7 +82,7 @@ func FuzzServerMatchRequest(f *testing.F) {
 			if len(line) == 0 {
 				continue
 			}
-			out := tcp.dispatch(line)
+			out := tcp.dispatch(context.Background(), line)
 			if _, err := json.Marshal(out); err != nil {
 				t.Fatalf("unmarshalable TCP response %#v for line %q", out, line)
 			}

@@ -50,7 +50,7 @@ func TestMatchClientDisconnectCancels(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := s.Match(ctx, MatchRequest{Ruleset: "ids", Input: strings.Repeat("x", 1 << 20)})
+	_, err := s.Match(ctx, MatchRequest{Ruleset: "ids", Input: strings.Repeat("x", 1<<20)})
 	if err == nil {
 		t.Fatal("canceled match succeeded")
 	}
@@ -94,7 +94,7 @@ func TestFeedCancellationContract(t *testing.T) {
 	// Pre-canceled ctx: nothing consumed, 504, retry succeeds.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = s.Feed(ctx, info.Session, FeedRequest{Chunk: strings.Repeat("x", 1 << 20)})
+	_, err = s.Feed(ctx, info.Session, FeedRequest{Chunk: strings.Repeat("x", 1<<20)})
 	if err == nil || statusOf(err) != http.StatusGatewayTimeout {
 		t.Fatalf("pre-canceled feed: err = %v (status %d), want 504", err, statusOf(err))
 	}
@@ -228,7 +228,7 @@ func TestPanicIsolationTCP(t *testing.T) {
 	faults.Enable(faults.NewInjector(3, map[string]faults.Rule{
 		"server.match": {Rate: 1, Kinds: faults.KindPanic},
 	}))
-	resp := tsrv.dispatch([]byte(`{"op":"match","ruleset":"ids","input":"xx needle"}`))
+	resp := tsrv.dispatch(context.Background(), []byte(`{"op":"match","ruleset":"ids","input":"xx needle"}`))
 	faults.Disable()
 	te, ok := resp.(tcpErr)
 	if !ok || te.Status != http.StatusInternalServerError || !strings.Contains(te.Error, "injected panic") {
@@ -237,7 +237,7 @@ func TestPanicIsolationTCP(t *testing.T) {
 	if got := collectorOf(s).Panics.Value(); got != 1 {
 		t.Fatalf("ca_server_panics_total = %d, want 1", got)
 	}
-	resp = tsrv.dispatch([]byte(`{"op":"match","ruleset":"ids","input":"xx needle"}`))
+	resp = tsrv.dispatch(context.Background(), []byte(`{"op":"match","ruleset":"ids","input":"xx needle"}`))
 	if okResp, ok := resp.(tcpOK); !ok || !okResp.OK {
 		t.Fatalf("dispatch after panic = %+v, want success", resp)
 	}

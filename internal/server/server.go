@@ -948,7 +948,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.wal = nil
 	s.mu.Unlock()
 	if w != nil {
-		w.Close()
+		// A failed final close can leave the last checkpoint record
+		// unflushed; surface it unless the drain already failed.
+		if cerr := w.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

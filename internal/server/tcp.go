@@ -75,6 +75,13 @@ type TCPServer struct {
 	s  *Server
 	ln net.Listener
 
+	// baseCtx parents every request executed on this transport; Shutdown
+	// cancels it at the drain deadline so in-flight ops abort through the
+	// engine's cancellation path instead of being cut mid-write by
+	// forceClose alone.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	mu     sync.Mutex
 	conns  map[*tcpConn]struct{}
 	closed bool
@@ -142,6 +149,7 @@ func (c *tcpConn) forceClose() {
 // their own goroutines.
 func (s *Server) ServeTCP(ln net.Listener) *TCPServer {
 	t := &TCPServer{s: s, ln: ln, conns: make(map[*tcpConn]struct{})}
+	t.baseCtx, t.cancel = context.WithCancel(context.Background())
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t
@@ -199,7 +207,7 @@ func (t *TCPServer) serveConn(conn *tcpConn) {
 		if !conn.beginRequest() {
 			return // Shutdown claimed the conn after this line was read
 		}
-		resp := t.dispatch(line)
+		resp := t.dispatch(t.baseCtx, line)
 		err := enc.Encode(resp)
 		if conn.endRequest() || err != nil {
 			return
@@ -216,7 +224,7 @@ func (t *TCPServer) serveConn(conn *tcpConn) {
 // structured error line, never a dropped connection or a panic; a
 // panicking op is recovered into a structured 500 line (the same
 // isolation the HTTP transport's reply applies).
-func (t *TCPServer) dispatch(line []byte) (resp any) {
+func (t *TCPServer) dispatch(ctx context.Context, line []byte) (resp any) {
 	s := t.s
 	s.col.Requests.Inc()
 	s.col.InFlight.Add(1)
@@ -235,7 +243,7 @@ func (t *TCPServer) dispatch(line []byte) (resp any) {
 		s.col.RequestErrors.Inc()
 		return tcpErr{Error: "bad JSON request: " + err.Error(), Status: http.StatusBadRequest}
 	}
-	out, err := t.execute(&req)
+	out, err := t.execute(ctx, &req)
 	if err != nil {
 		s.col.RequestErrors.Inc()
 		return tcpErr{Error: err.Error(), Status: statusOf(err)}
@@ -243,7 +251,7 @@ func (t *TCPServer) dispatch(line []byte) (resp any) {
 	return tcpOK{OK: true, Result: out}
 }
 
-func (t *TCPServer) execute(req *tcpRequest) (any, error) {
+func (t *TCPServer) execute(ctx context.Context, req *tcpRequest) (any, error) {
 	s := t.s
 	switch req.Op {
 	case "compile":
@@ -258,7 +266,7 @@ func (t *TCPServer) execute(req *tcpRequest) (any, error) {
 			Seed:               req.Seed,
 		})
 	case "match":
-		return s.Match(context.Background(), MatchRequest{
+		return s.Match(ctx, MatchRequest{
 			Ruleset:  req.Ruleset,
 			Input:    req.Input,
 			InputB64: req.InputB64,
@@ -267,7 +275,7 @@ func (t *TCPServer) execute(req *tcpRequest) (any, error) {
 	case "open":
 		return s.OpenSession(OpenSessionRequest{Ruleset: req.Ruleset, SnapshotB64: req.SnapshotB64})
 	case "feed":
-		return s.Feed(context.Background(), req.ID, FeedRequest{Chunk: req.Chunk, ChunkB64: req.ChunkB64})
+		return s.Feed(ctx, req.ID, FeedRequest{Chunk: req.Chunk, ChunkB64: req.ChunkB64})
 	case "suspend":
 		return s.Suspend(req.ID)
 	case "close":
@@ -313,8 +321,12 @@ func (t *TCPServer) Shutdown(ctx context.Context) error {
 		t.mu.Unlock()
 		select {
 		case <-finished:
+			t.cancel()
 			return nil
 		case <-ctx.Done():
+			// Abort in-flight ops through the engine's cancellation path
+			// first, then cut whatever still won't finish.
+			t.cancel()
 			t.mu.Lock()
 			for c := range t.conns {
 				c.forceClose()

@@ -303,6 +303,10 @@ func (w *wal) compactLocked() error {
 		return fmt.Errorf("wal: compact: %w", err)
 	}
 	if w.f != nil {
+		// The compacted log was already synced and renamed over w.path;
+		// this handle refers to the replaced inode, so its close result
+		// cannot affect durability.
+		//cavet:ignore errdrop superseded handle, rename above is the durability point
 		w.f.Close()
 	}
 	w.f, err = os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)

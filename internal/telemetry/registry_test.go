@@ -75,9 +75,9 @@ func TestHistogramBucketsAndStats(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"# TYPE h histogram",
-		`h_bucket{le="1"} 2`,   // 0 and 1
-		`h_bucket{le="2"} 3`,   // + 1.5
-		`h_bucket{le="4"} 4`,   // + 3
+		`h_bucket{le="1"} 2`,    // 0 and 1
+		`h_bucket{le="2"} 3`,    // + 1.5
+		`h_bucket{le="4"} 4`,    // + 3
 		`h_bucket{le="+Inf"} 5`, // + 100
 		"h_count 5",
 	} {
