@@ -341,8 +341,10 @@ func (a *Automaton) Run(input []byte) ([]Match, *Stats, error) {
 
 // RunContext is Run with deadline-aware cancellation (see
 // Lease.RunContext). A ctx that can never be canceled costs nothing.
+// When ctx carries a telemetry.ReqTrace, the machine checkout and the
+// scan are recorded as "lease" and "run" stage spans.
 func (a *Automaton) RunContext(ctx context.Context, input []byte) ([]Match, *Stats, error) {
-	l, err := a.Lease()
+	l, err := a.LeaseContext(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -358,6 +360,17 @@ func (a *Automaton) RunContext(ctx context.Context, input []byte) ([]Match, *Sta
 // recycled. Any number of leases may be live at once.
 func (a *Automaton) Lease() (*Lease, error) {
 	m, err := a.runPool.Get()
+	if err != nil {
+		return nil, fmt.Errorf("cacheautomaton: %w", err)
+	}
+	return &Lease{a: a, m: m}, nil
+}
+
+// LeaseContext is Lease with the request-scoped flight recorder threaded
+// through: a telemetry.ReqTrace carried by ctx records the checkout as a
+// "lease" stage span. With no trace in ctx it is exactly Lease.
+func (a *Automaton) LeaseContext(ctx context.Context) (*Lease, error) {
+	m, err := a.runPool.GetContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
@@ -391,11 +404,15 @@ func (l *Lease) RunContext(ctx context.Context, input []byte) ([]Match, *Stats, 
 	if l.m == nil {
 		return nil, nil, fmt.Errorf("cacheautomaton: use of released lease")
 	}
+	sp := telemetry.ReqTraceFrom(ctx).StartStage("run")
+	sp.SetAttr("bytes", int64(len(input)))
+	defer sp.End()
 	l.m.Reset()
 	res, err := l.m.RunContext(ctx, input)
 	if err != nil {
 		return nil, nil, err
 	}
+	sp.SetAttr("matches", res.MatchCount)
 	return matchesFrom(res.Matches), l.a.statsFrom(res), nil
 }
 
@@ -444,15 +461,21 @@ func (a *Automaton) RunParallelContext(ctx context.Context, input []byte, shards
 	if a.observer != nil {
 		start = time.Now()
 	}
-	pool, err := a.shardPool.GetN(shards)
+	pool, err := a.shardPool.GetNContext(ctx, shards)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
 	defer a.shardPool.PutAll(pool)
+	sp := telemetry.ReqTraceFrom(ctx).StartStage("run")
+	sp.SetAttr("bytes", int64(len(input)))
+	sp.SetAttr("shards", int64(shards))
 	res, err := machine.RunShardedContext(ctx, pool, input)
 	if err != nil {
+		sp.End()
 		return nil, nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
+	sp.SetAttr("matches", res.MatchCount)
+	sp.End()
 	if a.observer != nil {
 		a.observer.ObserveRun(int64(len(input)), time.Since(start).Seconds(),
 			res.OutputBufferPeak)
@@ -570,6 +593,18 @@ func (a *Automaton) Stream() (*Stream, error) {
 	return &Stream{a: a, m: m}, nil
 }
 
+// StreamContext is Stream with the request-scoped flight recorder
+// threaded through: a telemetry.ReqTrace carried by ctx records the
+// machine checkout as a "lease" stage span. With no trace in ctx it is
+// exactly Stream.
+func (a *Automaton) StreamContext(ctx context.Context) (*Stream, error) {
+	m, err := a.runPool.GetContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{a: a, m: m}, nil
+}
+
 // Feed consumes the next chunk and returns the matches it produced
 // (offsets are absolute within the whole stream). Delivered matches are
 // drained from the underlying machine, so a long-lived stream retains only
@@ -599,12 +634,16 @@ func (s *Stream) FeedContext(ctx context.Context, chunk []byte) ([]Match, error)
 	if s.m == nil {
 		return nil, nil
 	}
+	sp := telemetry.ReqTraceFrom(ctx).StartStage("run")
+	sp.SetAttr("bytes", int64(len(chunk)))
+	defer sp.End()
 	_, err := s.m.RunContext(ctx, chunk)
 	fresh := s.m.DrainMatches()
 	out := make([]Match, 0, len(fresh))
 	for _, m := range fresh {
 		out = append(out, Match{Offset: m.Offset, Pattern: int(m.Code)})
 	}
+	sp.SetAttr("matches", int64(len(out)))
 	return out, err
 }
 
@@ -643,6 +682,25 @@ func (a *Automaton) ResumeStream(r io.Reader) (*Stream, error) {
 		return nil, err
 	}
 	s, err := a.Stream()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.m.Restore(snap); err != nil {
+		s.Close() // return the leased machine; otherwise the checkout leaks
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResumeStreamContext is ResumeStream with the request-scoped flight
+// recorder threaded through (the machine checkout becomes a "lease"
+// stage span on the trace carried by ctx).
+func (a *Automaton) ResumeStreamContext(ctx context.Context, r io.Reader) (*Stream, error) {
+	snap, err := machine.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := a.StreamContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -100,10 +100,10 @@ func TestCadCrashRecovery(t *testing.T) {
 	{
 		ref := server.New(server.Config{})
 		defer ref.Shutdown(context.Background())
-		if _, err := ref.Compile("rs", server.CompileRequest{Patterns: []string{"needle[0-9]"}, Seed: 42}); err != nil {
+		if _, err := ref.Compile(context.Background(), "rs", server.CompileRequest{Patterns: []string{"needle[0-9]"}, Seed: 42}); err != nil {
 			t.Fatal(err)
 		}
-		sess, err := ref.OpenSession(server.OpenSessionRequest{Ruleset: "rs"})
+		sess, err := ref.OpenSession(context.Background(), server.OpenSessionRequest{Ruleset: "rs"})
 		if err != nil {
 			t.Fatal(err)
 		}

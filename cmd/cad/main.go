@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -81,10 +82,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight work on shutdown")
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side execution deadline per match/feed (0 disables)")
 	walDir := fs.String("wal-dir", "", "directory for the session write-ahead log (crash recovery); empty disables")
+	slowMS := fs.Int("slow-ms", 250, "flight-recorder slow threshold in ms: requests at or above it are pinned and logged (<0 disables slow pinning)")
+	traceRing := fs.Int("trace-ring", telemetry.DefaultTraceRingSize, "flight-recorder ring size: last N traces plus last N slow/error traces retained (0 disables tracing)")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(stderr, nil)
+	default:
+		fmt.Fprintf(stderr, "cad: bad -log-format %q (want text or json)\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
+
+	slow := time.Duration(*slowMS) * time.Millisecond
+	if *slowMS < 0 {
+		slow = -1 // disables slow pinning; 0 would mean "use the default"
+	}
+	ringSize := *traceRing
+	if ringSize <= 0 {
+		ringSize = -1 // disables tracing; 0 would mean "use the default"
+	}
 	s := server.New(server.Config{
 		MaxBodyBytes:   *maxBody,
 		MatchWorkers:   *workers,
@@ -94,6 +118,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		MaxSessions:    *maxSessions,
 		SessionIdle:    *sessionIdle,
 		RequestTimeout: *requestTimeout,
+		SlowRequest:    slow,
+		TraceRingSize:  ringSize,
+		Logger:         logger,
 	})
 
 	if *walDir != "" {
@@ -213,5 +240,5 @@ func preload(s *server.Server, path, format, name, design string, caseIns bool) 
 	} else {
 		req.Text = string(data)
 	}
-	return s.Compile(name, req)
+	return s.Compile(context.Background(), name, req)
 }

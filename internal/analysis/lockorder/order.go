@@ -41,6 +41,10 @@ var Order = []Level{
 		Note: "per-conn busy/closing state"},
 	{Class: "server.wal.mu", Rank: 80,
 		Note: "WAL framing; callers may append under session or server locks"},
+	{Class: "telemetry.ReqTrace.mu", Rank: 82,
+		Note: "flight-recorder trace state; stage spans start under session.mu (walCheckpoint), and Report locks each Span under it"},
+	{Class: "telemetry.Span.mu", Rank: 84,
+		Note: "per-span attrs/duration; innermost of the tracing pair"},
 	{Class: "machine.Pool.mu", Rank: 85,
 		Note: "lease free-list internals; leaf-only per DESIGN.md"},
 	{Class: "server.Server.qMu", Rank: 85,

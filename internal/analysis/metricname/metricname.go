@@ -33,7 +33,7 @@ var nameRE = regexp.MustCompile(`^ca(_[a-z0-9]+)+$`)
 type site struct {
 	pos  ast.Node
 	pkg  *analysis.Pkg
-	kind string // Counter, Gauge, FloatGauge, Histogram
+	kind string // Counter, Gauge, FloatGauge, Histogram, HistogramVec
 	name string
 }
 
@@ -91,18 +91,28 @@ func run(u *analysis.Unit) []analysis.Finding {
 	return fs
 }
 
-// registryCall matches r.Counter/Gauge/FloatGauge/Histogram where r is
-// a type named Registry.
+// registryCall matches r.Counter/Gauge/FloatGauge/Histogram/HistogramVec
+// where r is a type named Registry.
 func registryCall(info *types.Info, call *ast.CallExpr) (kind string, ok bool) {
 	fn, named, isMethod := analysis.MethodCall(info, call)
 	if !isMethod || named == nil || named.Obj().Name() != "Registry" {
 		return "", false
 	}
 	switch fn.Name() {
-	case "Counter", "Gauge", "FloatGauge", "Histogram":
+	case "Counter", "Gauge", "FloatGauge", "Histogram", "HistogramVec":
 		return fn.Name(), true
 	}
 	return "", false
+}
+
+// histKindNoun renders a kind as the noun used in findings: "HistogramVec"
+// reads as "histogram" (the vec is a family of histograms, and
+// "histogramvecs" is not a word).
+func histKindNoun(kind string) string {
+	if kind == "HistogramVec" {
+		return "histogram"
+	}
+	return strings.ToLower(kind)
 }
 
 func checkName(u *analysis.Unit, s site) []analysis.Finding {
@@ -123,9 +133,9 @@ func checkName(u *analysis.Unit, s site) []analysis.Finding {
 		if !total {
 			bad("counters must end in _total")
 		}
-	case "Gauge", "Histogram":
+	case "Gauge", "Histogram", "HistogramVec":
 		if total {
-			bad("%ss must not end in _total; that suffix promises a monotonic counter", strings.ToLower(s.kind))
+			bad("%ss must not end in _total; that suffix promises a monotonic counter", histKindNoun(s.kind))
 		}
 		// FloatGauge is exempt both ways: accumulating float gauges
 		// (ca_run_seconds_total) are counters in spirit, instantaneous

@@ -7,13 +7,16 @@ func register(r *telemetry.Registry) {
 	r.Gauge("ca_queue_depth", "ok")
 	r.FloatGauge("ca_run_seconds_total", "ok: accumulating float gauge")
 	r.Histogram("ca_request_seconds", "ok", nil)
+	r.HistogramVec("ca_stage_seconds", "ok", "stage", nil)
 
-	r.Counter("ca_requests", "no _total")                  // want "counters must end in _total"
-	r.Gauge("ca_inflight_total", "gauge with _total")      // want "must not end in _total"
-	r.Counter("requests_total", "bad prefix")              // want "must match"
-	r.Counter("ca_Bad_total", "uppercase token")           // want "must match"
-	r.Counter("ca_bytes_read_total", "unit not last")      // want "unit token"
-	r.Histogram("ca_feed_latency_total", "histogram", nil) // want "must not end in _total"
+	r.Counter("ca_requests", "no _total")                       // want "counters must end in _total"
+	r.Gauge("ca_inflight_total", "gauge with _total")           // want "must not end in _total"
+	r.Counter("requests_total", "bad prefix")                   // want "must match"
+	r.Counter("ca_Bad_total", "uppercase token")                // want "must match"
+	r.Counter("ca_bytes_read_total", "unit not last")           // want "unit token"
+	r.Histogram("ca_feed_latency_total", "histogram", nil)      // want "must not end in _total"
+	r.HistogramVec("ca_lease_total", "vec", "kind", nil)        // want "histograms must not end in _total"
+	r.HistogramVec("ca_seconds_by_stage", "unit", "stage", nil) // want "unit token"
 }
 
 func dynamic(r *telemetry.Registry, name string) {

@@ -6,6 +6,7 @@ type Counter struct{}
 type Gauge struct{}
 type FloatGauge struct{}
 type Histogram struct{}
+type HistogramVec struct{}
 
 type Registry struct{}
 
@@ -13,3 +14,6 @@ func (r *Registry) Counter(name, help string) *Counter                  { return
 func (r *Registry) Gauge(name, help string) *Gauge                      { return nil }
 func (r *Registry) FloatGauge(name, help string) *FloatGauge            { return nil }
 func (r *Registry) Histogram(name, help string, b []float64) *Histogram { return nil }
+func (r *Registry) HistogramVec(name, help, label string, b []float64) *HistogramVec {
+	return nil
+}

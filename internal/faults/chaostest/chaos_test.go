@@ -132,7 +132,7 @@ func TestChaosServingStack(t *testing.T) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	if _, err := s.Compile("chaos", server.CompileRequest{Patterns: chaosPatterns}); err != nil {
+	if _, err := s.Compile(context.Background(), "chaos", server.CompileRequest{Patterns: chaosPatterns}); err != nil {
 		t.Fatal(err)
 	}
 	ref, err := ca.CompileRegex(chaosPatterns, ca.Options{})
@@ -314,7 +314,7 @@ func TestChaosServingStack(t *testing.T) {
 	// A timeout drill for the cancellation metric: a pre-canceled feed
 	// must 504 without consuming anything.
 	faults.Disable()
-	drill, err := s.OpenSession(server.OpenSessionRequest{Ruleset: "chaos"})
+	drill, err := s.OpenSession(context.Background(), server.OpenSessionRequest{Ruleset: "chaos"})
 	if err != nil {
 		t.Fatal(err)
 	}

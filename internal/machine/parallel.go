@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cacheautomaton/internal/faults"
+	"cacheautomaton/internal/telemetry"
 )
 
 // DefaultShardOverlap is the speculative warm-up prefix, in symbols, that
@@ -106,10 +107,16 @@ func RunShardedContext(ctx context.Context, ms []*Machine, input []byte) (*Resul
 			defer func() {
 				if r := recover(); r != nil {
 					errs[i] = fmt.Errorf("machine: shard %d worker panic: %v", i, r)
+					if p, ok := r.(*faults.Panic); ok {
+						telemetry.ReqTraceFrom(ctx).Annotate("fault", p.Point)
+					}
 				}
 			}()
 			if err := faults.Check("machine.shard.worker"); err != nil {
 				errs[i] = err
+				if faults.IsInjected(err) {
+					telemetry.ReqTraceFrom(ctx).Annotate("fault", "machine.shard.worker")
+				}
 				return
 			}
 			m := ms[i]

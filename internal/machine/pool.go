@@ -1,11 +1,13 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"cacheautomaton/internal/faults"
 	"cacheautomaton/internal/mapper"
+	"cacheautomaton/internal/telemetry"
 )
 
 // PoolStats is a snapshot of a Pool's checkout accounting.
@@ -55,7 +57,64 @@ func NewPool(pl *mapper.Placement, opts Options, maxIdle int) *Pool {
 // Get checks a machine out of the pool, building one if the free list is
 // empty. The machine comes back Reset (offset 0, start states enabled) and
 // is exclusively the caller's until Put.
-func (p *Pool) Get() (*Machine, error) {
+func (p *Pool) Get() (*Machine, error) { return p.get() }
+
+// GetContext is Get with the request-scoped flight recorder threaded
+// through: when ctx carries a telemetry.ReqTrace, the checkout is
+// recorded as a "lease" stage span (with whether it hit the free list
+// or built cold) and an injected lease refusal is annotated onto the
+// trace. With no trace in ctx it is exactly Get.
+func (p *Pool) GetContext(ctx context.Context) (*Machine, error) {
+	rt := telemetry.ReqTraceFrom(ctx)
+	if rt == nil {
+		return p.get()
+	}
+	sp := rt.StartStage("lease")
+	sp.SetAttr("machines", 1)
+	before := p.Stats()
+	m, err := p.get()
+	if err != nil {
+		sp.End()
+		if faults.IsInjected(err) {
+			rt.Annotate("fault", "machine.pool.get")
+		}
+		return nil, err
+	}
+	sp.SetAttr("built", p.Stats().Built-before.Built)
+	sp.End()
+	return m, nil
+}
+
+// GetNContext checks out n machines at once for a sharded run, recording
+// one "lease" stage span on the trace carried by ctx. On error the
+// machines acquired so far are returned to the pool.
+func (p *Pool) GetNContext(ctx context.Context, n int) ([]*Machine, error) {
+	rt := telemetry.ReqTraceFrom(ctx)
+	if rt == nil {
+		return p.GetN(n)
+	}
+	sp := rt.StartStage("lease")
+	sp.SetAttr("machines", int64(n))
+	defer sp.End()
+	before := p.Stats()
+	ms := make([]*Machine, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := p.get()
+		if err != nil {
+			p.PutAll(ms)
+			if faults.IsInjected(err) {
+				rt.Annotate("fault", "machine.pool.get")
+			}
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	sp.SetAttr("built", p.Stats().Built-before.Built)
+	return ms, nil
+}
+
+// get is the shared checkout core behind Get and the *Context variants.
+func (p *Pool) get() (*Machine, error) {
 	// Lease-exhaustion injection point. Placed before any accounting so a
 	// refused checkout leaves Gets == Puts — an injected failure must look
 	// exactly like the pool never being asked.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	ca "cacheautomaton"
+	"cacheautomaton/internal/telemetry"
 )
 
 // The wire types of the serving API, shared by the HTTP/JSON transport
@@ -78,6 +79,9 @@ type WireMatch struct {
 type MatchResponse struct {
 	Matches []WireMatch `json:"matches"`
 	Stats   MatchStats  `json:"stats"`
+	// Trace is the request's completed flight-recorder trace, inlined
+	// only when the client asked for it (?debug=1 on /match).
+	Trace *telemetry.ReqReport `json:"trace,omitempty"`
 }
 
 // OpenSessionRequest opens (or, with SnapshotB64, resumes) a streaming

@@ -23,7 +23,7 @@ func fuzzHandler(t *testing.T) (http.Handler, *Server) {
 	f := &fuzzSrv
 	f.once.Do(func() {
 		f.s = New(Config{MaxBodyBytes: 1 << 16, Registry: telemetry.NewRegistry()})
-		if _, err := f.s.Compile("re", CompileRequest{Patterns: []string{"cat", "a{2,3}b"}}); err != nil {
+		if _, err := f.s.Compile(context.Background(), "re", CompileRequest{Patterns: []string{"cat", "a{2,3}b"}}); err != nil {
 			f.err = err
 			return
 		}

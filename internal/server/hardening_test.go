@@ -26,7 +26,7 @@ func TestSessionsVsCloseNoDeadlock(t *testing.T) {
 		defer cancel()
 		_ = s.Shutdown(ctx)
 	})
-	if _, err := s.Compile("r", CompileRequest{Patterns: []string{"abc"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "r", CompileRequest{Patterns: []string{"abc"}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -51,7 +51,7 @@ func TestSessionsVsCloseNoDeadlock(t *testing.T) {
 				for i := 0; i < iters; i++ {
 					ids = ids[:0]
 					for j := 0; j < batch; j++ {
-						info, err := s.OpenSession(OpenSessionRequest{Ruleset: "r"})
+						info, err := s.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "r"})
 						if err != nil {
 							t.Error(err)
 							return
@@ -59,7 +59,7 @@ func TestSessionsVsCloseNoDeadlock(t *testing.T) {
 						ids = append(ids, info.Session)
 					}
 					for _, id := range ids {
-						if err := s.CloseSession(id); err != nil {
+						if err := s.CloseSession(context.Background(), id); err != nil {
 							t.Error(err)
 							return
 						}
@@ -97,7 +97,7 @@ func TestMatchShardsClamped(t *testing.T) {
 		defer cancel()
 		_ = s.Shutdown(ctx)
 	})
-	if _, err := s.Compile("r", CompileRequest{Patterns: []string{"abc"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "r", CompileRequest{Patterns: []string{"abc"}}); err != nil {
 		t.Fatal(err)
 	}
 	input := strings.Repeat("xx abc yy ", 4096)

@@ -1,12 +1,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
+
+	"cacheautomaton/internal/faults"
+	"cacheautomaton/internal/telemetry"
 )
 
 // Handler returns the HTTP/JSON API:
@@ -32,47 +36,58 @@ func (s *Server) Handler() http.Handler {
 		if err := s.decode(w, r, &req); err != nil {
 			return
 		}
-		s.reply(w, r, func() (any, error) { return s.Compile(r.PathValue("name"), req) })
+		s.reply(w, r, "rulesets.compile", func(ctx context.Context) (any, error) {
+			return s.Compile(ctx, r.PathValue("name"), req)
+		})
 	})
 	mux.HandleFunc("GET /rulesets", func(w http.ResponseWriter, r *http.Request) {
-		s.reply(w, r, func() (any, error) { return s.Rulesets(), nil })
+		s.reply(w, r, "rulesets.list", func(context.Context) (any, error) { return s.Rulesets(), nil })
 	})
 	mux.HandleFunc("GET /rulesets/{name}", func(w http.ResponseWriter, r *http.Request) {
-		s.reply(w, r, func() (any, error) { return s.Ruleset(r.PathValue("name")) })
+		s.reply(w, r, "rulesets.get", func(context.Context) (any, error) { return s.Ruleset(r.PathValue("name")) })
 	})
 	mux.HandleFunc("DELETE /rulesets/{name}", func(w http.ResponseWriter, r *http.Request) {
-		s.reply(w, r, func() (any, error) { return okBody{}, s.DeleteRuleset(r.PathValue("name")) })
+		s.reply(w, r, "rulesets.delete", func(context.Context) (any, error) {
+			return okBody{}, s.DeleteRuleset(r.PathValue("name"))
+		})
 	})
 	mux.HandleFunc("POST /match", func(w http.ResponseWriter, r *http.Request) {
 		var req MatchRequest
 		if err := s.decode(w, r, &req); err != nil {
 			return
 		}
-		s.reply(w, r, func() (any, error) { return s.Match(r.Context(), req) })
+		s.reply(w, r, "match", func(ctx context.Context) (any, error) { return s.Match(ctx, req) })
 	})
 	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req OpenSessionRequest
 		if err := s.decode(w, r, &req); err != nil {
 			return
 		}
-		s.reply(w, r, func() (any, error) { return s.OpenSession(req) })
+		s.reply(w, r, "sessions.open", func(ctx context.Context) (any, error) { return s.OpenSession(ctx, req) })
 	})
 	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
-		s.reply(w, r, func() (any, error) { return s.Sessions(), nil })
+		s.reply(w, r, "sessions.list", func(context.Context) (any, error) { return s.Sessions(), nil })
 	})
 	mux.HandleFunc("POST /sessions/{id}/feed", func(w http.ResponseWriter, r *http.Request) {
 		var req FeedRequest
 		if err := s.decode(w, r, &req); err != nil {
 			return
 		}
-		s.reply(w, r, func() (any, error) { return s.Feed(r.Context(), r.PathValue("id"), req) })
+		s.reply(w, r, "sessions.feed", func(ctx context.Context) (any, error) {
+			return s.Feed(ctx, r.PathValue("id"), req)
+		})
 	})
 	mux.HandleFunc("POST /sessions/{id}/suspend", func(w http.ResponseWriter, r *http.Request) {
-		s.reply(w, r, func() (any, error) { return s.Suspend(r.PathValue("id")) })
+		s.reply(w, r, "sessions.suspend", func(ctx context.Context) (any, error) {
+			return s.Suspend(ctx, r.PathValue("id"))
+		})
 	})
 	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		s.reply(w, r, func() (any, error) { return okBody{}, s.CloseSession(r.PathValue("id")) })
+		s.reply(w, r, "sessions.close", func(ctx context.Context) (any, error) {
+			return okBody{}, s.CloseSession(ctx, r.PathValue("id"))
+		})
 	})
+	mux.HandleFunc("GET /debug/requests", s.debugRequests)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := s.Healthz()
 		code := http.StatusOK
@@ -129,30 +144,98 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error 
 }
 
 // reply runs one core operation with request metrics, panic isolation,
-// and renders its JSON result or structured error. A panicking handler
-// becomes a structured 500 and an increment of ca_server_panics_total
-// instead of a killed process; the deferred accounting and the machine
-// pool's Reset-on-Get keep the server consistent afterwards.
-func (s *Server) reply(w http.ResponseWriter, _ *http.Request, op func() (any, error)) {
+// the flight recorder, and renders its JSON result or structured error.
+// A panicking handler becomes a structured 500 and an increment of
+// ca_server_panics_total instead of a killed process; the deferred
+// accounting and the machine pool's Reset-on-Get keep the server
+// consistent afterwards.
+//
+// Every traced request echoes its trace id as the X-CA-Trace-Id
+// response header, so a client holding a failed response can fetch the
+// full stage breakdown from /debug/requests?id=… after the fact.
+// ?debug=1 on /match additionally inlines the completed trace into the
+// response body.
+func (s *Server) reply(w http.ResponseWriter, r *http.Request, op string, fn func(ctx context.Context) (any, error)) {
 	s.col.Requests.Inc()
 	s.col.InFlight.Add(1)
 	start := time.Now()
+	rt := s.newTrace(op)
+	if rt != nil {
+		w.Header().Set("X-CA-Trace-Id", rt.ID())
+	}
+	ctx := telemetry.WithReqTrace(r.Context(), rt)
 	defer func() {
 		s.col.RequestSeconds.Observe(time.Since(start).Seconds())
 		s.col.InFlight.Add(-1)
-		if r := recover(); r != nil {
+		if rec := recover(); rec != nil {
 			s.col.Panics.Inc()
 			s.col.RequestErrors.Inc()
-			writeError(w, errf(http.StatusInternalServerError, "internal panic: %v", r))
+			if p, ok := rec.(*faults.Panic); ok {
+				rt.Annotate("fault", p.Point)
+			}
+			s.finishTrace(rt, "panic", fmt.Sprint(rec))
+			writeError(w, errf(http.StatusInternalServerError, "internal panic: %v", rec))
 		}
 	}()
-	out, err := op()
+	out, err := fn(ctx)
 	if err != nil {
 		s.col.RequestErrors.Inc()
+		outcome, msg := outcomeOf(err)
+		s.finishTrace(rt, outcome, msg)
 		writeError(w, err)
 		return
 	}
+	rep := s.finishTrace(rt, "ok", "")
+	if rep != nil && r.URL.Query().Get("debug") == "1" {
+		if mr, ok := out.(*MatchResponse); ok {
+			mr.Trace = rep
+		}
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// debugRequests serves the flight recorder: GET /debug/requests returns
+// the ring snapshot (recent plus pinned slow/error traces) as JSON, or
+// as a human-readable text dump with ?format=text. ?id= looks one trace
+// up by its X-CA-Trace-Id.
+func (s *Server) debugRequests(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		writeError(w, errf(http.StatusNotFound, "request tracing is disabled"))
+		return
+	}
+	text := r.URL.Query().Get("format") == "text"
+	if id := r.URL.Query().Get("id"); id != "" {
+		rep := s.ring.Find(id)
+		if rep == nil {
+			writeError(w, errf(http.StatusNotFound, "no trace %q (evicted or never recorded)", id))
+			return
+		}
+		if text {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = rep.Format(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	snap := s.ring.Snapshot()
+	if text {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "flight recorder: %d recent, %d pinned (slow >= %.0fms)\n\n",
+			len(snap.Recent), len(snap.Pinned), snap.SlowMS)
+		for _, section := range []struct {
+			name string
+			reps []*telemetry.ReqReport
+		}{{"pinned", snap.Pinned}, {"recent", snap.Recent}} {
+			fmt.Fprintf(w, "== %s ==\n", section.name)
+			for _, rep := range section.reps {
+				_ = rep.Format(w)
+				fmt.Fprintln(w)
+			}
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

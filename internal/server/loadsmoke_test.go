@@ -150,7 +150,7 @@ func TestDrainDoesNotDropMatches(t *testing.T) {
 	s := New(Config{Registry: telemetry.NewRegistry()})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	if _, err := s.Compile("smoke", CompileRequest{Patterns: smokePatterns}); err != nil {
+	if _, err := s.Compile(context.Background(), "smoke", CompileRequest{Patterns: smokePatterns}); err != nil {
 		t.Fatal(err)
 	}
 	ref, err := ca.CompileRegex(smokePatterns, ca.Options{})

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports the race detector is active: timing assertions
+// are skipped under it (uniform ~10x slowdown plus heavy jitter).
+const raceEnabled = true

@@ -20,7 +20,7 @@ func collectorOf(s *Server) *telemetry.ServerCollector { return s.col }
 func TestMatchRequestTimeout(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	s, _ := testServer(t, Config{Registry: reg, RequestTimeout: time.Nanosecond})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
 	// Input long enough to span many cancellation chunks.
@@ -45,7 +45,7 @@ func TestMatchRequestTimeout(t *testing.T) {
 // the client hung up — stops a long match mid-input.
 func TestMatchClientDisconnectCancels(t *testing.T) {
 	s, _ := testServer(t, Config{Registry: telemetry.NewRegistry()})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -83,10 +83,10 @@ func assertLeasesBalanced(t *testing.T, s *Server) {
 // Truncated and an advanced Pos, session still usable.
 func TestFeedCancellationContract(t *testing.T) {
 	s, _ := testServer(t, Config{Registry: telemetry.NewRegistry()})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
-	info, err := s.OpenSession(OpenSessionRequest{Ruleset: "ids"})
+	info, err := s.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "ids"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,10 +148,10 @@ func (c *countCtx) Err() error {
 // suffix must find the rest with no loss or duplication.
 func TestFeedPartialConsumptionTruncates(t *testing.T) {
 	s, _ := testServer(t, Config{Registry: telemetry.NewRegistry(), MaxBodyBytes: 64 << 20})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
-	info, err := s.OpenSession(OpenSessionRequest{Ruleset: "ids"})
+	info, err := s.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "ids"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestFeedPartialConsumptionTruncates(t *testing.T) {
 // keeps serving.
 func TestPanicIsolationHTTP(t *testing.T) {
 	s, ts := testServer(t, Config{Registry: telemetry.NewRegistry()})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
 	faults.Enable(faults.NewInjector(3, map[string]faults.Rule{
@@ -221,7 +221,7 @@ func TestPanicIsolationHTTP(t *testing.T) {
 // TestPanicIsolationTCP does the same over the line-framed transport.
 func TestPanicIsolationTCP(t *testing.T) {
 	s, _ := testServer(t, Config{Registry: telemetry.NewRegistry()})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
 	tsrv := &TCPServer{s: s}
@@ -247,7 +247,7 @@ func TestPanicIsolationTCP(t *testing.T) {
 // surfaces as a structured error and leaves Gets == Puts.
 func TestInjectedLeaseExhaustion(t *testing.T) {
 	s, _ := testServer(t, Config{Registry: telemetry.NewRegistry()})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
 	faults.Enable(faults.NewInjector(5, map[string]faults.Rule{
@@ -270,7 +270,7 @@ func TestInjectedLeaseExhaustion(t *testing.T) {
 // in-flight serving still work, and not-ready through Shutdown.
 func TestReadyzDrainWindow(t *testing.T) {
 	s, ts := testServer(t, Config{Registry: telemetry.NewRegistry()})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
 	get := func(path string) int {
@@ -326,10 +326,10 @@ func TestReadyzDrainWindow(t *testing.T) {
 // feeds' positions advance monotonically with no lost state.
 func TestInjectedFeedFaultKeepsSessionConsistent(t *testing.T) {
 	s, _ := testServer(t, Config{Registry: telemetry.NewRegistry()})
-	if _, err := s.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
-	info, err := s.OpenSession(OpenSessionRequest{Ruleset: "ids"})
+	info, err := s.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "ids"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,8 @@ import (
 	"context"
 	"encoding/base64"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -61,6 +63,19 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Registry receives the server's metrics (nil uses telemetry.Default()).
 	Registry *telemetry.Registry
+	// SlowRequest is the flight recorder's slow threshold: requests at or
+	// above it are pinned in the trace ring and logged (default 250ms;
+	// negative disables slow pinning).
+	SlowRequest time.Duration
+	// TraceRingSize bounds the flight recorder's retained traces — the
+	// ring keeps the last TraceRingSize requests plus, separately, the
+	// last TraceRingSize slow/error/faulted ones (default
+	// telemetry.DefaultTraceRingSize; negative disables request tracing
+	// entirely).
+	TraceRingSize int
+	// Logger receives structured serving logs with trace-id correlation
+	// (nil discards them).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +99,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionIdle == 0 {
 		c.SessionIdle = 5 * time.Minute
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = 250 * time.Millisecond
+	}
+	if c.TraceRingSize == 0 {
+		c.TraceRingSize = telemetry.DefaultTraceRingSize
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -117,6 +141,10 @@ type session struct {
 type Server struct {
 	cfg Config
 	col *telemetry.ServerCollector
+	log *slog.Logger
+	// ring is the flight recorder: completed request traces land here
+	// (nil when Config.TraceRingSize < 0 disables tracing).
+	ring *telemetry.TraceRing
 
 	mu       sync.RWMutex
 	rulesets map[string]*ruleset
@@ -151,11 +179,19 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		col:        telemetry.NewServerCollector(cfg.Registry),
+		log:        cfg.Logger,
 		rulesets:   make(map[string]*ruleset),
 		sessions:   make(map[string]*session),
 		slots:      make(chan struct{}, cfg.MatchWorkers),
 		stopReaper: make(chan struct{}),
 		reaperDone: make(chan struct{}),
+	}
+	if cfg.TraceRingSize > 0 {
+		slow := cfg.SlowRequest
+		if slow < 0 {
+			slow = 0
+		}
+		s.ring = telemetry.NewTraceRing(cfg.TraceRingSize, slow)
 	}
 	s.ready.Store(true)
 	if cfg.SessionIdle > 0 {
@@ -164,6 +200,75 @@ func New(cfg Config) *Server {
 		close(s.reaperDone)
 	}
 	return s
+}
+
+// Ring exposes the flight recorder (nil when tracing is disabled). The
+// daemon and tests use it to look up traces by id.
+func (s *Server) Ring() *telemetry.TraceRing { return s.ring }
+
+// newTrace opens a request trace for one operation, or returns nil (a
+// valid no-op trace) when tracing is disabled.
+func (s *Server) newTrace(op string) *telemetry.ReqTrace {
+	if s.ring == nil {
+		return nil
+	}
+	return telemetry.NewReqTrace(op)
+}
+
+// outcomeOf classifies an operation error for the trace record: injected
+// faults and deadline expiry are distinguished from ordinary errors so a
+// post-hoc /debug/requests lookup explains *why* a request failed.
+func outcomeOf(err error) (outcome, msg string) {
+	switch {
+	case err == nil:
+		return "ok", ""
+	case faults.IsInjected(err):
+		return "fault", err.Error()
+	case statusOf(err) == http.StatusGatewayTimeout:
+		return "timeout", err.Error()
+	default:
+		return "error", err.Error()
+	}
+}
+
+// finishTrace closes a request trace, lands it in the flight-recorder
+// ring, feeds the per-stage and per-ruleset latency histograms, and
+// emits a structured log line for non-ok or slow requests. It returns
+// the completed report (nil when rt is nil). The transports call this
+// exactly once per traced request.
+func (s *Server) finishTrace(rt *telemetry.ReqTrace, outcome, msg string) *telemetry.ReqReport {
+	if rt == nil {
+		return nil
+	}
+	rt.Finish(outcome, msg)
+	rep := rt.Report()
+	if s.ring != nil {
+		s.ring.Add(rep)
+	}
+	for _, st := range rep.Stages {
+		s.col.StageSeconds.With(st.Name).Observe(st.DurationMS / 1e3)
+	}
+	label := rep.Ruleset
+	if label == "" {
+		label = "none"
+	}
+	s.col.RulesetSeconds.With(label).Observe(rep.DurationMS / 1e3)
+	slowMS := float64(s.cfg.SlowRequest) / float64(time.Millisecond)
+	slow := s.cfg.SlowRequest > 0 && rep.DurationMS >= slowMS
+	if slow {
+		s.col.SlowRequests.Inc()
+	}
+	switch {
+	case rep.Outcome != "ok":
+		s.log.Warn("request finished",
+			"trace", rep.ID, "op", rep.Op, "ruleset", rep.Ruleset,
+			"outcome", rep.Outcome, "error", rep.Error, "duration_ms", rep.DurationMS)
+	case slow:
+		s.log.Info("slow request",
+			"trace", rep.ID, "op", rep.Op, "ruleset", rep.Ruleset,
+			"duration_ms", rep.DurationMS, "slow_ms", slowMS)
+	}
+	return rep
 }
 
 // ReplayStats summarizes what AttachWAL recovered.
@@ -200,7 +305,8 @@ func (s *Server) AttachWAL(dir string) (*ReplayStats, error) {
 		if rec.Kind != "compile" || rec.Req == nil {
 			continue
 		}
-		if _, err := s.Compile(rec.Name, *rec.Req); err != nil {
+		if _, err := s.Compile(context.Background(), rec.Name, *rec.Req); err != nil {
+			s.log.Warn("wal replay: recompile failed", "ruleset", rec.Name, "error", err)
 			continue // the checkpoints referencing it are counted skipped below
 		}
 		st.Rulesets++
@@ -228,6 +334,9 @@ func (s *Server) AttachWAL(dir string) (*ReplayStats, error) {
 	}
 	s.wal = w
 	s.mu.Unlock()
+	s.log.Info("wal replay finished",
+		"records", len(recs), "rulesets", st.Rulesets,
+		"sessions", st.Sessions, "skipped_sessions", st.SkippedSessions)
 	return st, nil
 }
 
@@ -269,18 +378,30 @@ func parseSessionID(id string) (uint64, bool) {
 	return n, err == nil
 }
 
-// walAppend logs one record when a WAL is attached. Append failures are
+// walAppend logs one record when a WAL is attached, recording the append
+// as a "wal" stage span on rt (nil rt is fine — background callers like
+// the reaper and Shutdown have no request trace). Append failures are
 // already counted (ca_wal_errors_total) and must not fail the serving
 // operation that triggered them: the client's response is the source of
 // truth, the WAL is best-effort durability whose next checkpoint
 // supersedes a lost one.
-func (s *Server) walAppend(rec walRecord) {
+func (s *Server) walAppend(rt *telemetry.ReqTrace, rec walRecord) {
 	s.mu.RLock()
 	w := s.wal
 	s.mu.RUnlock()
 	if w == nil {
 		return
 	}
+	sp := rt.StartStage("wal")
+	defer sp.End()
+	s.walAppendRetry(rt, w, rec)
+}
+
+// walAppendRetry is the span-free append core shared by walAppend and
+// walCheckpoint (which record their own "wal" spans — exactly one per
+// logged operation). Every failed injected append is annotated onto rt
+// so the chaos harness can account for each fired fault.
+func (s *Server) walAppendRetry(rt *telemetry.ReqTrace, w *wal, rec walRecord) {
 	// Tombstones get retries where ordinary records don't: a lost
 	// checkpoint is superseded by the session's next checkpoint, but a
 	// lost close/delete tombstone has no successor record — replay would
@@ -290,29 +411,38 @@ func (s *Server) walAppend(rec walRecord) {
 		attempts = 5
 	}
 	for i := 0; i < attempts; i++ {
-		if w.Append(rec) == nil {
+		err := w.Append(rec)
+		if err == nil {
 			return
 		}
+		if faults.IsInjected(err) {
+			rt.Annotate("fault", "server.wal.append")
+		}
 	}
+	s.log.Warn("wal append failed", "kind", rec.Kind, "attempts", attempts)
 }
 
 // walCheckpoint logs a session's current architectural state so a
-// crashed server resumes it from exactly this point. Caller must hold
+// crashed server resumes it from exactly this point, recorded as one
+// "wal" stage span on rt (serialization plus append). Caller must hold
 // sess.mu (or otherwise own the stream exclusively); the Suspend —
 // which the paper's tiny state vectors make cheap — is skipped
 // entirely when no WAL is attached.
-func (s *Server) walCheckpoint(sess *session) {
+func (s *Server) walCheckpoint(rt *telemetry.ReqTrace, sess *session) {
 	s.mu.RLock()
-	attached := s.wal != nil
+	w := s.wal
 	s.mu.RUnlock()
-	if !attached {
+	if w == nil {
 		return
 	}
+	sp := rt.StartStage("wal")
+	defer sp.End()
 	var buf bytes.Buffer
 	if err := sess.stream.Suspend(&buf); err != nil {
 		return
 	}
-	s.walAppend(walRecord{
+	sp.SetAttr("bytes", int64(buf.Len()))
+	s.walAppendRetry(rt, w, walRecord{
 		Kind:    "checkpoint",
 		ID:      sess.id,
 		Ruleset: sess.ruleset,
@@ -346,13 +476,16 @@ func (s *Server) begin() (func(), error) {
 
 // Compile compiles req into a named rule set, replacing any previous set
 // under that name (sessions opened against the old set keep running on
-// it).
-func (s *Server) Compile(name string, req CompileRequest) (*RulesetInfo, error) {
+// it). A telemetry.ReqTrace carried by ctx records the WAL append and
+// tags the trace with the rule-set name.
+func (s *Server) Compile(ctx context.Context, name string, req CompileRequest) (*RulesetInfo, error) {
 	done, err := s.begin()
 	if err != nil {
 		return nil, err
 	}
 	defer done()
+	rt := telemetry.ReqTraceFrom(ctx)
+	rt.SetRuleset(name)
 	if name == "" || strings.ContainsAny(name, "/ \t\n") {
 		return nil, errf(http.StatusBadRequest, "bad ruleset name %q", name)
 	}
@@ -426,7 +559,10 @@ func (s *Server) Compile(name string, req CompileRequest) (*RulesetInfo, error) 
 	s.col.Rulesets.Set(int64(len(s.rulesets)))
 	s.mu.Unlock()
 	reqCopy := req
-	s.walAppend(walRecord{Kind: "compile", Name: name, Req: &reqCopy})
+	s.walAppend(rt, walRecord{Kind: "compile", Name: name, Req: &reqCopy})
+	s.log.InfoContext(ctx, "ruleset compiled",
+		"ruleset", name, "format", format, "states", rs.info.States,
+		"partitions", rs.info.Partitions, "compile_ms", rs.info.CompileMS)
 	info := rs.info
 	return &info, nil
 }
@@ -471,7 +607,7 @@ func (s *Server) DeleteRuleset(name string) error {
 	delete(s.rulesets, name)
 	s.col.Rulesets.Set(int64(len(s.rulesets)))
 	s.mu.Unlock()
-	s.walAppend(walRecord{Kind: "delete", Name: name})
+	s.walAppend(nil, walRecord{Kind: "delete", Name: name})
 	return nil
 }
 
@@ -521,13 +657,17 @@ func (s *Server) acquireSlot(ctx context.Context) (func(), error) {
 	}
 }
 
-// Match runs a one-shot scan under the bounded worker pool.
+// Match runs a one-shot scan under the bounded worker pool. A
+// telemetry.ReqTrace carried by ctx records queue admission, machine
+// lease, and the scan itself as stage spans.
 func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, error) {
 	done, err := s.begin()
 	if err != nil {
 		return nil, err
 	}
 	defer done()
+	rt := telemetry.ReqTraceFrom(ctx)
+	rt.SetRuleset(req.Ruleset)
 	if req.Ruleset == "" {
 		return nil, errf(http.StatusBadRequest, "missing ruleset")
 	}
@@ -542,7 +682,9 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 	if err != nil {
 		return nil, err
 	}
+	qsp := rt.StartStage("queue")
 	release, err := s.acquireSlot(ctx)
+	qsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -550,6 +692,7 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 	// Execution-phase injection point: fires after admission (slot held),
 	// before any machine is leased, modeling an I/O fault at dispatch.
 	if err := faults.Check("server.match"); err != nil {
+		rt.Annotate("fault", "server.match")
 		return nil, errc(http.StatusInternalServerError, err, "run: %v", err)
 	}
 	// The execution deadline starts once a worker slot is held; queue
@@ -584,17 +727,22 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 }
 
 // OpenSession opens a streaming session, resuming from a snapshot when
-// one is supplied (the arrival half of a session migration).
-func (s *Server) OpenSession(req OpenSessionRequest) (*SessionInfo, error) {
+// one is supplied (the arrival half of a session migration). A
+// telemetry.ReqTrace carried by ctx records the machine lease and the
+// session's first WAL checkpoint as stage spans.
+func (s *Server) OpenSession(ctx context.Context, req OpenSessionRequest) (*SessionInfo, error) {
 	done, err := s.begin()
 	if err != nil {
 		return nil, err
 	}
 	defer done()
+	rt := telemetry.ReqTraceFrom(ctx)
+	rt.SetRuleset(req.Ruleset)
 	if req.Ruleset == "" {
 		return nil, errf(http.StatusBadRequest, "missing ruleset")
 	}
 	if err := faults.Check("server.open"); err != nil {
+		rt.Annotate("fault", "server.open")
 		return nil, errc(http.StatusInternalServerError, err, "open: %v", err)
 	}
 	rs, err := s.ruleset(req.Ruleset)
@@ -608,13 +756,13 @@ func (s *Server) OpenSession(req OpenSessionRequest) (*SessionInfo, error) {
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "bad snapshot base64: %v", err)
 		}
-		stream, err = rs.a.ResumeStream(bytes.NewReader(snap))
+		stream, err = rs.a.ResumeStreamContext(ctx, bytes.NewReader(snap))
 		if err != nil {
 			return nil, errf(http.StatusUnprocessableEntity, "resume: %v", err)
 		}
 		resumed = true
 	} else {
-		stream, err = rs.a.Stream()
+		stream, err = rs.a.StreamContext(ctx)
 		if err != nil {
 			return nil, errf(http.StatusInternalServerError, "stream: %v", err)
 		}
@@ -643,10 +791,11 @@ func (s *Server) OpenSession(req OpenSessionRequest) (*SessionInfo, error) {
 	// The counter mark survives this session's own close tombstone, so a
 	// restarted server never re-issues the id (see walRecord.NextID).
 	n, _ := parseSessionID(sess.id)
-	s.walAppend(walRecord{Kind: "nextid", NextID: n})
+	s.walAppend(rt, walRecord{Kind: "nextid", NextID: n})
 	sess.mu.Lock()
-	s.walCheckpoint(sess)
+	s.walCheckpoint(rt, sess)
 	sess.mu.Unlock()
+	s.log.InfoContext(ctx, "session opened", "session", sess.id, "ruleset", sess.ruleset, "resumed", resumed)
 	return &SessionInfo{Session: sess.id, Ruleset: sess.ruleset, Pos: stream.Pos()}, nil
 }
 
@@ -698,17 +847,20 @@ func (s *Server) Feed(ctx context.Context, id string, req FeedRequest) (*FeedRes
 		return nil, err
 	}
 	defer done()
+	rt := telemetry.ReqTraceFrom(ctx)
 	chunk, err := payload(req.Chunk, req.ChunkB64, s.cfg.MaxBodyBytes)
 	if err != nil {
 		return nil, err
 	}
 	if err := faults.Check("server.feed"); err != nil {
+		rt.Annotate("fault", "server.feed")
 		return nil, errc(http.StatusInternalServerError, err, "feed: %v", err)
 	}
 	sess, err := s.session(id)
 	if err != nil {
 		return nil, err
 	}
+	rt.SetRuleset(sess.ruleset)
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
 	sess.mu.Lock()
@@ -723,7 +875,7 @@ func (s *Server) Feed(ctx context.Context, id string, req FeedRequest) (*FeedRes
 	s.col.SessionBytes.Add(consumed)
 	s.col.MatchReports.Add(int64(len(ms)))
 	if consumed > 0 {
-		s.walCheckpoint(sess)
+		s.walCheckpoint(rt, sess)
 	}
 	if ferr != nil {
 		s.col.Timeouts.Inc()
@@ -743,19 +895,22 @@ func (s *Server) Feed(ctx context.Context, id string, req FeedRequest) (*FeedRes
 // migration. Resuming the snapshot (here or on another server with the
 // same compiled rule set) continues the stream with no lost or duplicated
 // matches.
-func (s *Server) Suspend(id string) (*SuspendResponse, error) {
+func (s *Server) Suspend(ctx context.Context, id string) (*SuspendResponse, error) {
 	done, err := s.begin()
 	if err != nil {
 		return nil, err
 	}
 	defer done()
+	rt := telemetry.ReqTraceFrom(ctx)
 	if err := faults.Check("server.suspend"); err != nil {
+		rt.Annotate("fault", "server.suspend")
 		return nil, errc(http.StatusInternalServerError, err, "suspend: %v", err)
 	}
 	sess, err := s.session(id)
 	if err != nil {
 		return nil, err
 	}
+	rt.SetRuleset(sess.ruleset)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.closed {
@@ -770,13 +925,15 @@ func (s *Server) Suspend(id string) (*SuspendResponse, error) {
 		Pos:         sess.stream.Pos(),
 		SnapshotB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
 	}
-	s.removeSession(sess, false)
+	s.removeSession(rt, sess, false)
 	s.col.SessionsSuspended.Inc()
+	s.log.InfoContext(ctx, "session suspended", "session", id, "ruleset", sess.ruleset, "pos", resp.Pos)
 	return resp, nil
 }
 
-// CloseSession closes and forgets a session.
-func (s *Server) CloseSession(id string) error {
+// CloseSession closes and forgets a session. A telemetry.ReqTrace
+// carried by ctx records the close-tombstone WAL append.
+func (s *Server) CloseSession(ctx context.Context, id string) error {
 	done, err := s.begin()
 	if err != nil {
 		return err
@@ -786,23 +943,26 @@ func (s *Server) CloseSession(id string) error {
 	if err != nil {
 		return err
 	}
+	rt := telemetry.ReqTraceFrom(ctx)
+	rt.SetRuleset(sess.ruleset)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.closed {
 		return errf(http.StatusConflict, "session %q is closed", id)
 	}
-	s.removeSession(sess, false)
+	s.removeSession(rt, sess, false)
 	return nil
 }
 
 // removeSession closes the stream (returning its machine to the lease
-// pool) and drops the session from the table. Caller holds sess.mu.
+// pool) and drops the session from the table. Caller holds sess.mu; rt
+// is the requesting trace (nil from the reaper and Shutdown).
 //
 // keepCheckpoint selects the WAL policy: an explicit close, suspend or
 // idle-reap tombstones the session's checkpoint (it must not come back
 // after a restart), while graceful drain passes true so the checkpoint
 // survives and the next server instance resumes the session.
-func (s *Server) removeSession(sess *session, keepCheckpoint bool) {
+func (s *Server) removeSession(rt *telemetry.ReqTrace, sess *session, keepCheckpoint bool) {
 	sess.closed = true
 	sess.stream.Close()
 	s.mu.Lock()
@@ -810,7 +970,7 @@ func (s *Server) removeSession(sess *session, keepCheckpoint bool) {
 	s.col.SessionsActive.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
 	if !keepCheckpoint {
-		s.walAppend(walRecord{Kind: "close", ID: sess.id})
+		s.walAppend(rt, walRecord{Kind: "close", ID: sess.id})
 	}
 }
 
@@ -885,8 +1045,9 @@ func (s *Server) reapIdleSessions() {
 			for _, sess := range stale {
 				sess.mu.Lock()
 				if !sess.closed && sess.lastUsed.Before(cutoff) {
-					s.removeSession(sess, false)
+					s.removeSession(nil, sess, false)
 					s.col.SessionsExpired.Inc()
+					s.log.Info("session expired", "session", sess.id, "ruleset", sess.ruleset)
 				}
 				sess.mu.Unlock()
 			}
@@ -938,10 +1099,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		sess.mu.Lock()
 		if !sess.closed {
 			// keepCheckpoint: drained sessions must survive the restart.
-			s.removeSession(sess, true)
+			s.removeSession(nil, sess, true)
 		}
 		sess.mu.Unlock()
 	}
+	s.log.InfoContext(ctx, "server drained", "sessions_kept", len(open))
 
 	s.mu.Lock()
 	w := s.wal

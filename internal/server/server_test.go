@@ -410,7 +410,7 @@ func TestBackpressure(t *testing.T) {
 		defer cancel()
 		_ = s.Shutdown(ctx)
 	}()
-	if _, err := s.Compile("re", CompileRequest{Patterns: []string{"cat"}}); err != nil {
+	if _, err := s.Compile(context.Background(), "re", CompileRequest{Patterns: []string{"cat"}}); err != nil {
 		t.Fatal(err)
 	}
 	// Occupy the only worker slot directly.
@@ -466,7 +466,7 @@ func TestGracefulDrain(t *testing.T) {
 	if _, err := s.Match(context.Background(), MatchRequest{Ruleset: "re", Input: "x"}); statusOf(err) != 503 {
 		t.Errorf("match while draining: %v", err)
 	}
-	if _, err := s.OpenSession(OpenSessionRequest{Ruleset: "re"}); statusOf(err) != 503 {
+	if _, err := s.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "re"}); statusOf(err) != 503 {
 		t.Errorf("open while draining: %v", err)
 	}
 	if h := s.Healthz(); h.Status != "draining" || h.Sessions != 0 {

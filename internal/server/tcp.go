@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cacheautomaton/internal/faults"
+	"cacheautomaton/internal/telemetry"
 )
 
 // The TCP transport frames the same API as one JSON object per line: the
@@ -58,16 +59,19 @@ type tcpRequest struct {
 	ChunkB64 string `json:"chunk_b64,omitempty"`
 }
 
-// tcpOK wraps a result with the ok flag.
+// tcpOK wraps a result with the ok flag. TraceID is the request's
+// flight-recorder id (the TCP analogue of the X-CA-Trace-Id header).
 type tcpOK struct {
-	OK     bool `json:"ok"`
-	Result any  `json:"result,omitempty"`
+	OK      bool   `json:"ok"`
+	Result  any    `json:"result,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type tcpErr struct {
-	OK     bool   `json:"ok"`
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error"`
+	Status  int    `json:"status"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // TCPServer serves the line-framed protocol on one listener.
@@ -189,8 +193,12 @@ func (t *TCPServer) serveConn(conn *tcpConn) {
 	}()
 	// Dropped-connection injection point: the conn dies before serving a
 	// line, as if the network reset it — clients must see a clean close,
-	// and the server must leak nothing.
-	if faults.Check("server.tcp.conn") != nil {
+	// and the server must leak nothing. No request is in flight yet, so
+	// the fault lands on a synthetic conn-scoped trace.
+	if err := faults.Check("server.tcp.conn"); err != nil {
+		rt := t.s.newTrace("tcp.conn")
+		rt.Annotate("fault", "server.tcp.conn")
+		t.s.finishTrace(rt, "fault", err.Error())
 		return
 	}
 	sc := bufio.NewScanner(conn)
@@ -229,13 +237,21 @@ func (t *TCPServer) dispatch(ctx context.Context, line []byte) (resp any) {
 	s.col.Requests.Inc()
 	s.col.InFlight.Add(1)
 	start := time.Now()
+	var (
+		rt      *telemetry.ReqTrace
+		traceID string
+	)
 	defer func() {
 		s.col.RequestSeconds.Observe(time.Since(start).Seconds())
 		s.col.InFlight.Add(-1)
 		if r := recover(); r != nil {
 			s.col.Panics.Inc()
 			s.col.RequestErrors.Inc()
-			resp = tcpErr{Error: fmt.Sprintf("internal panic: %v", r), Status: http.StatusInternalServerError}
+			if p, ok := r.(*faults.Panic); ok {
+				rt.Annotate("fault", p.Point)
+			}
+			s.finishTrace(rt, "panic", fmt.Sprint(r))
+			resp = tcpErr{Error: fmt.Sprintf("internal panic: %v", r), Status: http.StatusInternalServerError, TraceID: traceID}
 		}
 	}()
 	var req tcpRequest
@@ -243,19 +259,30 @@ func (t *TCPServer) dispatch(ctx context.Context, line []byte) (resp any) {
 		s.col.RequestErrors.Inc()
 		return tcpErr{Error: "bad JSON request: " + err.Error(), Status: http.StatusBadRequest}
 	}
-	out, err := t.execute(ctx, &req)
+	op := req.Op
+	if op == "" {
+		op = "unknown"
+	}
+	rt = s.newTrace("tcp." + op)
+	if rt != nil {
+		traceID = rt.ID()
+	}
+	out, err := t.execute(telemetry.WithReqTrace(ctx, rt), &req)
 	if err != nil {
 		s.col.RequestErrors.Inc()
-		return tcpErr{Error: err.Error(), Status: statusOf(err)}
+		outcome, msg := outcomeOf(err)
+		s.finishTrace(rt, outcome, msg)
+		return tcpErr{Error: err.Error(), Status: statusOf(err), TraceID: traceID}
 	}
-	return tcpOK{OK: true, Result: out}
+	s.finishTrace(rt, "ok", "")
+	return tcpOK{OK: true, Result: out, TraceID: traceID}
 }
 
 func (t *TCPServer) execute(ctx context.Context, req *tcpRequest) (any, error) {
 	s := t.s
 	switch req.Op {
 	case "compile":
-		return s.Compile(req.Name, CompileRequest{
+		return s.Compile(ctx, req.Name, CompileRequest{
 			Format:             req.Format,
 			Patterns:           req.Patterns,
 			Text:               req.Text,
@@ -273,13 +300,13 @@ func (t *TCPServer) execute(ctx context.Context, req *tcpRequest) (any, error) {
 			Shards:   req.Shards,
 		})
 	case "open":
-		return s.OpenSession(OpenSessionRequest{Ruleset: req.Ruleset, SnapshotB64: req.SnapshotB64})
+		return s.OpenSession(ctx, OpenSessionRequest{Ruleset: req.Ruleset, SnapshotB64: req.SnapshotB64})
 	case "feed":
 		return s.Feed(ctx, req.ID, FeedRequest{Chunk: req.Chunk, ChunkB64: req.ChunkB64})
 	case "suspend":
-		return s.Suspend(req.ID)
+		return s.Suspend(ctx, req.ID)
 	case "close":
-		return okBody{}, s.CloseSession(req.ID)
+		return okBody{}, s.CloseSession(ctx, req.ID)
 	case "list_rulesets":
 		return s.Rulesets(), nil
 	case "list_sessions":

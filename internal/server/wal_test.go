@@ -206,10 +206,10 @@ func TestServerWALReplay(t *testing.T) {
 	if _, err := s1.AttachWAL(dir); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s1.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s1.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
-	info, err := s1.OpenSession(OpenSessionRequest{Ruleset: "ids"})
+	info, err := s1.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "ids"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,11 +221,11 @@ func TestServerWALReplay(t *testing.T) {
 		t.Fatalf("feed found %d matches, want 1", len(fr.Matches))
 	}
 	// Also open-and-close a session: its tombstone must prevent resurrection.
-	info2, err := s1.OpenSession(OpenSessionRequest{Ruleset: "ids"})
+	info2, err := s1.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "ids"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.CloseSession(info2.Session); err != nil {
+	if err := s1.CloseSession(context.Background(), info2.Session); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a crash: no Shutdown, just drop the server and reopen the dir.
@@ -264,7 +264,7 @@ func TestServerWALReplay(t *testing.T) {
 		t.Fatalf("post-resume feed found %d matches, want 1", len(fr2.Matches))
 	}
 	// New sessions must not collide with replayed ids.
-	info3, err := s2.OpenSession(OpenSessionRequest{Ruleset: "ids"})
+	info3, err := s2.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "ids"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,10 +282,10 @@ func TestServerWALCrossCrashMatchContinuity(t *testing.T) {
 	if _, err := s1.AttachWAL(dir); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s1.Compile("ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
+	if _, err := s1.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"needle"}}); err != nil {
 		t.Fatal(err)
 	}
-	info, err := s1.OpenSession(OpenSessionRequest{Ruleset: "ids"})
+	info, err := s1.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "ids"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,10 +323,10 @@ func TestShutdownKeepsCheckpoints(t *testing.T) {
 	if _, err := s1.AttachWAL(dir); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s1.Compile("ids", CompileRequest{Patterns: []string{"x"}}); err != nil {
+	if _, err := s1.Compile(context.Background(), "ids", CompileRequest{Patterns: []string{"x"}}); err != nil {
 		t.Fatal(err)
 	}
-	info, err := s1.OpenSession(OpenSessionRequest{Ruleset: "ids"})
+	info, err := s1.OpenSession(context.Background(), OpenSessionRequest{Ruleset: "ids"})
 	if err != nil {
 		t.Fatal(err)
 	}

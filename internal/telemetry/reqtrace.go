@@ -1,0 +1,443 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReqTrace is the request-scoped flight recorder: one trace rides a
+// request's context.Context from the transport entry point (HTTP
+// handler or TCP line dispatch) through worker-queue admission, machine
+// leasing, the scan itself and the WAL append, collecting per-stage
+// spans and string annotations (injected faults, outcomes) along the
+// way. Completed traces are snapshotted into a TraceRing, so a slow,
+// failed or faulted request is explainable after the fact by the trace
+// id the client received.
+//
+// A nil *ReqTrace is valid everywhere and makes every method a no-op,
+// so instrumented code paths need no "is tracing on" conditionals —
+// the disabled configuration costs one context lookup per seam.
+type ReqTrace struct {
+	id    string
+	op    string
+	start time.Time
+
+	mu      sync.Mutex
+	ruleset string
+	stages  []*Span
+	notes   []StrAttr
+	outcome string
+	errmsg  string
+	done    bool
+	total   time.Duration
+}
+
+// StrAttr is one string annotation on a trace (fault points, outcome
+// detail).
+type StrAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// traceProc is a per-process random prefix so ids from different server
+// instances never collide; traceSeq makes ids unique within a process.
+var (
+	traceProc = func() string {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			// Fall back to the process start time; ids stay unique within
+			// the process via traceSeq either way.
+			binary.LittleEndian.PutUint32(b[:], uint32(time.Now().UnixNano()))
+		}
+		return fmt.Sprintf("%08x", binary.LittleEndian.Uint32(b[:]))
+	}()
+	traceSeq atomic.Uint64
+)
+
+// NewReqTrace opens a trace for one request of the given operation.
+func NewReqTrace(op string) *ReqTrace {
+	return &ReqTrace{
+		id:    fmt.Sprintf("%s-%08d", traceProc, traceSeq.Add(1)),
+		op:    op,
+		start: time.Now(),
+	}
+}
+
+// ID returns the trace id ("" on a nil trace) — the value echoed to the
+// client as X-CA-Trace-Id and accepted by /debug/requests?id=.
+func (t *ReqTrace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartStage opens a named stage span (queue, lease, run, wal). Stages
+// may nest or overlap; the report orders them by start time. Safe on a
+// nil trace (returns a nil span whose methods are no-ops).
+func (t *ReqTrace) StartStage(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.stages = append(t.stages, s)
+	t.mu.Unlock()
+	return s
+}
+
+// SetRuleset records which rule set the request targeted.
+func (t *ReqTrace) SetRuleset(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ruleset = name
+	t.mu.Unlock()
+}
+
+// Annotate appends one string annotation. Unlike Span.SetAttr it never
+// overwrites: annotating "fault" twice records two entries, so every
+// injected fault that touched the request stays visible.
+func (t *ReqTrace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.notes = append(t.notes, StrAttr{Key: key, Value: value})
+	t.mu.Unlock()
+}
+
+// Finish closes the trace with an outcome ("ok", "error", "timeout",
+// "fault", "panic") and an optional error message. Finishing twice
+// keeps the first outcome.
+func (t *ReqTrace) Finish(outcome, errmsg string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.outcome = outcome
+		t.errmsg = errmsg
+		t.total = time.Since(t.start)
+	}
+	t.mu.Unlock()
+}
+
+// ReqReport is the immutable snapshot of one trace — what the TraceRing
+// stores and /debug/requests serves.
+type ReqReport struct {
+	ID         string        `json:"id"`
+	Op         string        `json:"op"`
+	Ruleset    string        `json:"ruleset,omitempty"`
+	Start      time.Time     `json:"start"`
+	DurationMS float64       `json:"duration_ms"`
+	Outcome    string        `json:"outcome"`
+	Error      string        `json:"error,omitempty"`
+	Stages     []StageReport `json:"stages,omitempty"`
+	Notes      []StrAttr     `json:"notes,omitempty"`
+}
+
+// StageReport is one stage of a ReqReport. StartMS is the stage's
+// offset from the trace start, so overlap and dead time between stages
+// are visible.
+type StageReport struct {
+	Name       string  `json:"name"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+}
+
+// Report snapshots the trace. Stages are sorted by start time (name as
+// the tie-break), so concurrent span creation still yields a
+// deterministic report. Unfinished traces and stages report time
+// elapsed so far. Safe on a nil trace (returns nil).
+func (t *ReqTrace) Report() *ReqReport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.total
+	outcome := t.outcome
+	if !t.done {
+		total = time.Since(t.start)
+		outcome = "in-flight"
+	}
+	r := &ReqReport{
+		ID:         t.id,
+		Op:         t.op,
+		Ruleset:    t.ruleset,
+		Start:      t.start,
+		DurationMS: ms(total),
+		Outcome:    outcome,
+		Error:      t.errmsg,
+		Notes:      append([]StrAttr(nil), t.notes...),
+	}
+	stages := append([]*Span(nil), t.stages...)
+	sort.SliceStable(stages, func(i, j int) bool {
+		if stages[i].start.Equal(stages[j].start) {
+			return stages[i].name < stages[j].name
+		}
+		return stages[i].start.Before(stages[j].start)
+	})
+	for _, s := range stages {
+		s.mu.Lock()
+		d := s.dur
+		if !s.done {
+			d = time.Since(s.start)
+		}
+		r.Stages = append(r.Stages, StageReport{
+			Name:       s.name,
+			StartMS:    ms(s.start.Sub(t.start)),
+			DurationMS: ms(d),
+			Attrs:      append([]Attr(nil), s.attrs...),
+		})
+		s.mu.Unlock()
+	}
+	return r
+}
+
+// Faulted reports whether the trace carries at least one injected-fault
+// annotation; the TraceRing pins such traces alongside slow and error
+// ones.
+func (r *ReqReport) Faulted() bool {
+	if r == nil {
+		return false
+	}
+	for _, n := range r.Notes {
+		if n.Key == "fault" {
+			return true
+		}
+	}
+	return false
+}
+
+// Format writes a human-readable breakdown:
+//
+//	a1b2c3d4-00000042  match  ruleset=ids  ok  12.41ms
+//	  queue    +0.00ms   0.03ms
+//	  lease    +0.04ms   0.11ms  machines=1
+//	  run      +0.15ms  12.02ms  bytes=65536 matches=3
+func (r *ReqReport) Format(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "(no trace)")
+		return err
+	}
+	rs := ""
+	if r.Ruleset != "" {
+		rs = "  ruleset=" + r.Ruleset
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s  %s  %.2fms\n", r.ID, r.Op, rs, r.Outcome, r.DurationMS); err != nil {
+		return err
+	}
+	for _, s := range r.Stages {
+		var attrs strings.Builder
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&attrs, " %s=%d", a.Key, a.Value)
+		}
+		if _, err := fmt.Fprintf(w, "  %-8s %+9.2fms %9.2fms %s\n", s.Name, s.StartMS, s.DurationMS, attrs.String()); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "  note     %s=%s\n", n.Key, n.Value); err != nil {
+			return err
+		}
+	}
+	if r.Error != "" {
+		if _, err := fmt.Fprintf(w, "  error    %s\n", r.Error); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the report as Format does.
+func (r *ReqReport) String() string {
+	var b strings.Builder
+	_ = r.Format(&b)
+	return b.String()
+}
+
+// reqTraceKey carries a *ReqTrace through a context.Context.
+type reqTraceKey struct{}
+
+// WithReqTrace returns ctx carrying rt (ctx itself when rt is nil).
+func WithReqTrace(ctx context.Context, rt *ReqTrace) context.Context {
+	if rt == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, reqTraceKey{}, rt)
+}
+
+// ReqTraceFrom returns the trace carried by ctx, or nil. The nil result
+// is directly usable: every ReqTrace method is a no-op on nil.
+func ReqTraceFrom(ctx context.Context) *ReqTrace {
+	rt, _ := ctx.Value(reqTraceKey{}).(*ReqTrace)
+	return rt
+}
+
+// TraceRing retains completed request traces for /debug/requests. It is
+// two fixed-size lock-free rings over one id space:
+//
+//   - recent holds the last N completed traces, whatever their outcome;
+//   - pinned holds only the interesting ones — slow (duration at or
+//     above the slow threshold), error/timeout/panic outcomes, and
+//     traces carrying injected-fault annotations — so a burst of fast,
+//     healthy traffic can never evict the one trace that explains an
+//     incident. Pinned traces are bounded by their own N slots, evicted
+//     only by newer pinned traces.
+//
+// Writers only do an atomic increment and an atomic pointer store, so
+// tracing stays off the serving hot path's lock graph entirely.
+type TraceRing struct {
+	slow   time.Duration
+	recent ringSlots
+	pinned ringSlots
+}
+
+// ringSlots is one lock-free overwrite ring of reports.
+type ringSlots struct {
+	slots []atomic.Pointer[ReqReport]
+	next  atomic.Uint64
+}
+
+func (r *ringSlots) add(rep *ReqReport) {
+	idx := r.next.Add(1) - 1
+	r.slots[idx%uint64(len(r.slots))].Store(rep)
+}
+
+func (r *ringSlots) snapshot() []*ReqReport {
+	out := make([]*ReqReport, 0, len(r.slots))
+	for i := range r.slots {
+		if rep := r.slots[i].Load(); rep != nil {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// DefaultTraceRingSize is the per-ring capacity when none is given.
+const DefaultTraceRingSize = 256
+
+// NewTraceRing builds a ring of n recent plus n pinned slots (n <= 0
+// uses DefaultTraceRingSize). Traces at least slow long are pinned;
+// slow <= 0 disables slowness pinning (errors and faults still pin).
+func NewTraceRing(n int, slow time.Duration) *TraceRing {
+	if n <= 0 {
+		n = DefaultTraceRingSize
+	}
+	return &TraceRing{
+		slow:   slow,
+		recent: ringSlots{slots: make([]atomic.Pointer[ReqReport], n)},
+		pinned: ringSlots{slots: make([]atomic.Pointer[ReqReport], n)},
+	}
+}
+
+// SlowThreshold returns the pinning threshold.
+func (r *TraceRing) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.slow
+}
+
+// Add records one completed trace. Safe on a nil ring and a nil report.
+func (r *TraceRing) Add(rep *ReqReport) {
+	if r == nil || rep == nil {
+		return
+	}
+	r.recent.add(rep)
+	if r.isPinned(rep) {
+		r.pinned.add(rep)
+	}
+}
+
+func (r *TraceRing) isPinned(rep *ReqReport) bool {
+	if rep.Outcome != "ok" {
+		return true
+	}
+	if r.slow > 0 && rep.DurationMS >= ms(r.slow) {
+		return true
+	}
+	return rep.Faulted()
+}
+
+// Find returns the retained trace with the given id, or nil. Pinned
+// slots are searched first: they live longer.
+func (r *TraceRing) Find(id string) *ReqReport {
+	if r == nil {
+		return nil
+	}
+	for _, rep := range r.pinned.snapshot() {
+		if rep.ID == id {
+			return rep
+		}
+	}
+	for _, rep := range r.recent.snapshot() {
+		if rep.ID == id {
+			return rep
+		}
+	}
+	return nil
+}
+
+// RingSnapshot is the /debug/requests payload: the retained traces,
+// newest first in each section. A slow or failed trace that is still
+// recent appears in both sections.
+type RingSnapshot struct {
+	SlowMS float64      `json:"slow_ms"`
+	Recent []*ReqReport `json:"recent"`
+	Pinned []*ReqReport `json:"pinned"`
+}
+
+// Snapshot returns the retained traces, each section sorted newest
+// first (ties broken by id so the order is deterministic).
+func (r *TraceRing) Snapshot() *RingSnapshot {
+	if r == nil {
+		return &RingSnapshot{}
+	}
+	s := &RingSnapshot{
+		SlowMS: ms(r.slow),
+		Recent: sortReports(r.recent.snapshot()),
+		Pinned: sortReports(r.pinned.snapshot()),
+	}
+	return s
+}
+
+// All returns every retained trace exactly once (a trace held by both
+// sections is deduplicated by id), newest first.
+func (r *TraceRing) All() []*ReqReport {
+	if r == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []*ReqReport
+	for _, rep := range append(r.pinned.snapshot(), r.recent.snapshot()...) {
+		if !seen[rep.ID] {
+			seen[rep.ID] = true
+			out = append(out, rep)
+		}
+	}
+	return sortReports(out)
+}
+
+func sortReports(reps []*ReqReport) []*ReqReport {
+	sort.SliceStable(reps, func(i, j int) bool {
+		if reps[i].Start.Equal(reps[j].Start) {
+			return reps[i].ID > reps[j].ID
+		}
+		return reps[i].Start.After(reps[j].Start)
+	})
+	return reps
+}

@@ -49,6 +49,17 @@ type ServerCollector struct {
 	WALRecords  *Counter
 	WALReplayed *Counter
 	WALErrors   *Counter
+	// StageSeconds breaks serving latency down by pipeline stage
+	// (stage = queue | lease | run | wal), fed from the flight
+	// recorder's per-request stage spans.
+	StageSeconds *HistogramVec
+	// RulesetSeconds is end-to-end request latency per rule set, for
+	// match and feed operations (cardinality-bounded; overflow lands in
+	// the "other" series).
+	RulesetSeconds *HistogramVec
+	// SlowRequests counts requests at or above the slow threshold that
+	// the flight recorder pinned.
+	SlowRequests *Counter
 }
 
 // NewServerCollector registers the serving metrics (names prefixed
@@ -79,5 +90,8 @@ func NewServerCollector(reg *Registry) *ServerCollector {
 		WALRecords:        reg.Counter("ca_wal_records_total", "session WAL records appended"),
 		WALReplayed:       reg.Counter("ca_wal_replayed_total", "session WAL records replayed at startup"),
 		WALErrors:         reg.Counter("ca_wal_errors_total", "session WAL append failures (WAL fail-stops)"),
+		StageSeconds:      reg.HistogramVec("ca_server_stage_seconds", "serving latency by pipeline stage", "stage", latencyBuckets),
+		RulesetSeconds:    reg.HistogramVec("ca_server_ruleset_seconds", "end-to-end request latency by rule set", "ruleset", latencyBuckets),
+		SlowRequests:      reg.Counter("ca_server_slow_requests_total", "requests at or above the slow threshold"),
 	}
 }

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -117,7 +118,9 @@ type PhaseReport struct {
 }
 
 // Report snapshots the trace. Unfinished spans report the time elapsed so
-// far. Safe on a nil trace (returns nil).
+// far. Phases are snapshotted in start-time order (name as the
+// tie-break), not append order, so concurrent span creation still
+// yields a deterministic report. Safe on a nil trace (returns nil).
 func (t *Trace) Report() *CompileReport {
 	if t == nil {
 		return nil
@@ -125,7 +128,14 @@ func (t *Trace) Report() *CompileReport {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	r := &CompileReport{Name: t.name, Total: time.Since(t.start)}
-	for _, s := range t.phases {
+	phases := append([]*Span(nil), t.phases...)
+	sort.SliceStable(phases, func(i, j int) bool {
+		if phases[i].start.Equal(phases[j].start) {
+			return phases[i].name < phases[j].name
+		}
+		return phases[i].start.Before(phases[j].start)
+	})
+	for _, s := range phases {
 		s.mu.Lock()
 		d := s.dur
 		if !s.done {
