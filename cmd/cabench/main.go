@@ -22,6 +22,13 @@
 // -size 10485760); the trends are stable at much smaller settings, which
 // run in seconds.
 //
+// With -clients N (and -payload, -requests, -rounds, -batch-window,
+// -batch-max), cabench switches to the small-request serving
+// comparison instead: N concurrent clients fire 1-shot /match requests
+// at an in-process server with the request coalescer on and off, and a
+// JSON report (min-of-rounds, alternating order) goes to stdout —
+// results/batched-serving.json is the committed snapshot.
+//
 // With -metrics-addr, a telemetry endpoint serves /metrics (Prometheus
 // text), /debug/vars and /debug/pprof/ while the experiments run — the
 // pprof profile endpoint is the intended way to find compiler and
@@ -35,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cacheautomaton/internal/experiments"
 	"cacheautomaton/internal/telemetry"
@@ -50,7 +58,21 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	parallel := flag.Int("parallel", 1, "prefetch pipeline runs over this many workers (0 = all cores)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable benchmark report instead of text tables")
+	clients := flag.Int("clients", 0, "small-request serving mode: this many concurrent clients, batched vs per-request (JSON to stdout)")
+	payloadB := flag.Int("payload", 1024, "serving mode: payload bytes per request")
+	requests := flag.Int("requests", 1, "serving mode: requests per client per round")
+	rounds := flag.Int("rounds", 5, "serving mode: rounds (min-of, alternating order)")
+	batchWindow := flag.Duration("batch-window", time.Millisecond, "serving mode: coalescing window for the batched server")
+	batchMax := flag.Int("batch-max", 256, "serving mode: max members per batch for the batched server")
 	flag.Parse()
+
+	if *clients > 0 {
+		if err := runServing(os.Stdout, *clients, *payloadB, *requests, *rounds, *batchWindow, *batchMax, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Scale: *scale, InputBytes: *size, Seed: *seed}
 	if *bench != "" {

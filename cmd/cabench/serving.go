@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cacheautomaton/internal/server"
+	"cacheautomaton/internal/telemetry"
+)
+
+// servingPatterns matches the server package's load-smoke rule set, so
+// the out-of-process numbers line up with BenchmarkBatchedServing10k.
+var servingPatterns = []string{"needle[0-9]", "hay.{2}stack", "x[abc]+y"}
+
+// servingInput builds a payload salted with pattern hits (~one every
+// ~8.75 bytes has a 1-in-4 chance, matching the load smoke's density).
+func servingInput(rng *rand.Rand, n int) string {
+	const filler = "abcdefghij xyz 0123456789 qrstuvw "
+	buf := make([]byte, 0, n+16)
+	for len(buf) < n {
+		if rng.Intn(4) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				buf = append(buf, fmt.Sprintf("needle%d", rng.Intn(10))...)
+			case 1:
+				buf = append(buf, "hay..stack"...)
+			default:
+				buf = append(buf, "xabcacby"...)
+			}
+		} else {
+			i := rng.Intn(len(filler) - 8)
+			buf = append(buf, filler[i:i+8]...)
+		}
+	}
+	return string(buf[:n])
+}
+
+// servingReport is the machine-readable result of one batched-vs-
+// per-request comparison (results/batched-serving.json).
+type servingReport struct {
+	Shape struct {
+		Clients    int `json:"clients"`
+		PayloadB   int `json:"payload_bytes"`
+		PerClient  int `json:"requests_per_client"`
+		Rounds     int `json:"rounds"`
+		TotalReqs  int `json:"total_requests"`
+		TotalBytes int `json:"total_bytes"`
+	} `json:"shape"`
+	Batch struct {
+		WindowUS int64 `json:"window_us"`
+		Max      int   `json:"max"`
+	} `json:"batch"`
+	PerRequestSeconds float64 `json:"per_request_seconds"`
+	BatchedSeconds    float64 `json:"batched_seconds"`
+	PerRequestRPS     float64 `json:"per_request_rps"`
+	BatchedRPS        float64 `json:"batched_rps"`
+	Speedup           float64 `json:"speedup"`
+	BatchedTotal      int64   `json:"batched_requests_total"`
+	GeneratedAt       string  `json:"generated_at"`
+}
+
+// runServing drives the small-request serving comparison: the same
+// gated burst of concurrent 1-shot /match requests against an
+// in-process server with the coalescer on and off, min-of-rounds each
+// with alternating order (the smoke-test discipline, so a noise spike
+// on a shared host cannot decide the verdict), JSON to w.
+func runServing(w io.Writer, clients, payloadB, perClient, rounds int, window time.Duration, batchMax int, seed int64) error {
+	input := servingInput(rand.New(rand.NewSource(seed)), payloadB)
+
+	mk := func(batched bool) (*server.Server, *telemetry.Registry, error) {
+		cfg := server.Config{
+			Registry:      telemetry.NewRegistry(),
+			TraceRingSize: -1,
+			MatchWorkers:  8,
+			QueueDepth:    2 * clients,
+			QueueWait:     time.Minute,
+		}
+		if batched {
+			cfg.BatchWindow = window
+			cfg.BatchMax = batchMax
+		}
+		s := server.New(cfg)
+		if _, err := s.Compile(context.Background(), "serving", server.CompileRequest{Patterns: servingPatterns}); err != nil {
+			return nil, nil, err
+		}
+		return s, cfg.Registry, nil
+	}
+	batchedSrv, breg, err := mk(true)
+	if err != nil {
+		return err
+	}
+	perReqSrv, _, err := mk(false)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = batchedSrv.Shutdown(ctx)
+		_ = perReqSrv.Shutdown(ctx)
+	}()
+
+	// One gated burst: spawn every client, release them together, time
+	// the drain. Spawning is outside the timed region — the measurement
+	// is the server absorbing the burst, not goroutine creation.
+	burst := func(s *server.Server) (time.Duration, error) {
+		start := make(chan struct{})
+		errs := make(chan error, clients)
+		var ready, done sync.WaitGroup
+		ready.Add(clients)
+		done.Add(clients)
+		for c := 0; c < clients; c++ {
+			go func() {
+				defer done.Done()
+				ready.Done()
+				<-start
+				for r := 0; r < perClient; r++ {
+					if _, err := s.Match(context.Background(), server.MatchRequest{Ruleset: "serving", Input: input}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		ready.Wait()
+		t0 := time.Now()
+		close(start)
+		done.Wait()
+		el := time.Since(t0)
+		close(errs)
+		for err := range errs {
+			return 0, err
+		}
+		return el, nil
+	}
+
+	// Warmup, then min-of-rounds with alternating order.
+	if _, err := burst(batchedSrv); err != nil {
+		return err
+	}
+	if _, err := burst(perReqSrv); err != nil {
+		return err
+	}
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	var bat, per time.Duration
+	for r := 0; r < rounds; r++ {
+		order := []*server.Server{batchedSrv, perReqSrv}
+		if r%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, s := range order {
+			d, err := burst(s)
+			if err != nil {
+				return err
+			}
+			if s == batchedSrv {
+				bat = best(bat, d)
+			} else {
+				per = best(per, d)
+			}
+		}
+	}
+
+	var rep servingReport
+	rep.Shape.Clients = clients
+	rep.Shape.PayloadB = payloadB
+	rep.Shape.PerClient = perClient
+	rep.Shape.Rounds = rounds
+	rep.Shape.TotalReqs = clients * perClient
+	rep.Shape.TotalBytes = clients * perClient * payloadB
+	rep.Batch.WindowUS = window.Microseconds()
+	rep.Batch.Max = batchMax
+	rep.PerRequestSeconds = per.Seconds()
+	rep.BatchedSeconds = bat.Seconds()
+	rep.PerRequestRPS = float64(clients*perClient) / per.Seconds()
+	rep.BatchedRPS = float64(clients*perClient) / bat.Seconds()
+	rep.Speedup = per.Seconds() / bat.Seconds()
+	rep.BatchedTotal = batchedCounter(breg)
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// batchedCounter reads ca_server_batched_requests_total back out of the
+// batched server's registry, proving the comparison actually coalesced.
+func batchedCounter(reg *telemetry.Registry) int64 {
+	col := telemetry.NewServerCollector(reg) // same names → same counters
+	return col.BatchedRequests.Value()
+}

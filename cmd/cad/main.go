@@ -16,6 +16,14 @@
 // -metrics-addr, a telemetry endpoint serves /metrics, /metrics.json,
 // /debug/vars and /debug/pprof.
 //
+// Batched serving: -batch-window turns on the request coalescer —
+// concurrent small unsharded /match requests against one rule set wait
+// up to the window and run through one leased machine as a single
+// batched sweep (-batch-max and -batch-bytes bound a batch; oversize or
+// deadline-critical requests bypass and serve per-request). Match sets
+// are bit-identical to per-request serving; see the README's "Batched
+// serving" walkthrough.
+//
 // Resilience: -request-timeout puts a server-side execution deadline on
 // every match and feed (checked at sub-batch granularity; a feed cut off
 // mid-chunk returns its partial matches with "truncated":true and the
@@ -85,6 +93,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	slowMS := fs.Int("slow-ms", 250, "flight-recorder slow threshold in ms: requests at or above it are pinned and logged (<0 disables slow pinning)")
 	traceRing := fs.Int("trace-ring", telemetry.DefaultTraceRingSize, "flight-recorder ring size: last N traces plus last N slow/error traces retained (0 disables tracing)")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
+	batchWindow := fs.Duration("batch-window", 0, "coalesce concurrent small matches into shared batched sweeps, waiting up to this long to fill a batch (0 disables)")
+	batchMax := fs.Int("batch-max", 0, "max requests per batch (0 = 64; needs -batch-window)")
+	batchBytes := fs.Int64("batch-bytes", 0, "per-request size cap and batch byte budget for coalescing (0 = 256 KiB; needs -batch-window)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -121,6 +132,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		SlowRequest:    slow,
 		TraceRingSize:  ringSize,
 		Logger:         logger,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+		BatchBytes:     *batchBytes,
 	})
 
 	if *walDir != "" {

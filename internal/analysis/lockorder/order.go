@@ -47,6 +47,8 @@ var Order = []Level{
 		Note: "per-span attrs/duration; innermost of the tracing pair"},
 	{Class: "machine.Pool.mu", Rank: 85,
 		Note: "lease free-list internals; leaf-only per DESIGN.md"},
+	{Class: "server.batcher.mu", Rank: 85,
+		Note: "batch generation accumulation; leaf-only — flush work runs after release"},
 	{Class: "server.Server.qMu", Rank: 85,
 		Note: "match queue counter; leaf-only"},
 	{Class: "telemetry.Registry.mu", Rank: 85,

@@ -76,6 +76,7 @@ func chaosRules() map[string]faults.Rule {
 		"machine.pool.get":     {Rate: 0.10, Kinds: faults.KindError},
 		"machine.shard.worker": {Rate: 0.10, Kinds: faults.KindPanic},
 		"server.tcp.conn":      {Rate: 0.50, Kinds: faults.KindError},
+		"server.batch.flush":   {Rate: 0.20, Kinds: faults.KindError | faults.KindDelay | faults.KindPanic, MaxDelay: time.Millisecond},
 	}
 }
 
@@ -125,8 +126,12 @@ func TestChaosServingStack(t *testing.T) {
 
 	// MaxShards must be set explicitly: its default is GOMAXPROCS, which
 	// on a single-core runner clamps every request to one shard and the
-	// machine.shard.worker seam would never fire.
-	s := server.New(server.Config{Registry: reg, MaxShards: 4})
+	// machine.shard.worker seam would never fire. BatchWindow turns the
+	// coalescer on so the unsharded one-shot clients ride shared batch
+	// sweeps and the server.batch.flush seam fires per batch member — a
+	// faulted member must fail alone, so its client retries while its
+	// batch-mates' matches stay bit-identical to the reference.
+	s := server.New(server.Config{Registry: reg, MaxShards: 4, BatchWindow: 250 * time.Microsecond})
 	if _, err := s.AttachWAL(walDir); err != nil {
 		t.Fatal(err)
 	}

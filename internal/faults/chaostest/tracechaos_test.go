@@ -34,6 +34,10 @@ func traceChaosRules() map[string]faults.Rule {
 		"machine.pool.get":     {Rate: 0.10, Kinds: faults.KindError},
 		"machine.shard.worker": {Rate: 0.10, Kinds: faults.KindError},
 		"server.tcp.conn":      {Rate: 0.50, Kinds: faults.KindError},
+		// The batched one-shot population is small (a quarter of the
+		// clients), so this seam fires at a high rate to make a zero-fire
+		// run statistically negligible.
+		"server.batch.flush": {Rate: 0.5, Kinds: faults.KindError},
 	}
 }
 
@@ -58,6 +62,11 @@ func TestChaosTraceAccounting(t *testing.T) {
 	s := server.New(server.Config{
 		Registry:  reg,
 		MaxShards: 4,
+		// Batching on: unsharded one-shots coalesce, so server.batch.flush
+		// fires per batch member. The flusher annotates the faulted
+		// member's trace before the batch's ready broadcast, so the
+		// exact fired==noted reconciliation below holds for this seam too.
+		BatchWindow: 250 * time.Microsecond,
 		// Every faulted trace must survive until the final accounting:
 		// a ring far above the expected fault volume, and an idle
 		// timeout long enough that the background reaper (which runs

@@ -1,0 +1,528 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// batchQuantum is the interleaved batch runner's rotation granularity in
+// symbols: each stream advances by one quantum before the machine's state
+// is parked and the next stream is restored. 4 KiB keeps the row arrays
+// hot across the rotation while bounding how stale any stream's progress
+// can get; results are quantum-size-invariant (see runBatchInterleaved).
+const batchQuantum = 4 << 10
+
+// laneCount is how many independent streams the lane-packed fast path
+// drives at once: one stream per 64-bit word of the row arrays.
+const laneCount = wordsPerPartition
+
+// BatchResult is one stream's outcome from RunBatch. Err is set only
+// when that stream alone failed (a panic recovered inside its
+// sub-batch); its Result is then zero and the other streams are
+// unaffected.
+type BatchResult struct {
+	Result
+	Err error
+}
+
+// RunBatch scans every input independently from offset 0 through this
+// one machine, as if each had been given a freshly Reset machine of its
+// own, and returns one result per input in order. Results — match sets,
+// offsets, activity statistics, FIFO and output-buffer accounting — are
+// bit-identical to the per-input Reset+Run sequence.
+//
+// Two execution strategies share that contract. When the automaton's
+// whole architectural state fits one 64-bit word (single partition, all
+// used slots below 64) and no per-cycle Observer is attached, up to
+// four streams ride the [256][4]uint64 row arrays word-wise, one stream
+// per lane, so one pass over the rows serves four inputs. Otherwise
+// streams are interleaved across sub-batches: each stream's enabled
+// vectors, stream position, and accumulators are saved and restored
+// around a batchQuantum-sized slice of its input, reusing the snapshot
+// invariant the sharded runner relies on (the hot loop commits enabled'
+// and zeroes next every symbol, so enabled+position is the entire
+// architectural state between symbols).
+//
+// Inputs are strings so serving paths can hand request payloads down
+// without materializing a byte-slice copy per request; the scan only
+// ever reads them. The lane-packed path indexes the strings directly;
+// the interleaved path converts each stream once at setup (it needs a
+// sliceable chunk view, and one copy per multi-partition stream is the
+// same cost callers previously paid up front).
+//
+// A canceled ctx abandons the whole batch and returns its error; the
+// machine is Reset before returning on every path, so the caller can
+// return it to a pool unconditionally.
+func (m *Machine) RunBatch(ctx context.Context, inputs []string) ([]BatchResult, error) {
+	out := make([]BatchResult, len(inputs))
+	var err error
+	if m.lanePacked {
+		err = m.runBatchLanes(ctx, inputs, out)
+	} else {
+		err = m.runBatchInterleaved(ctx, inputs, out)
+	}
+	m.Reset()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runBatchLanes drives inputs through the single partition's row arrays
+// in groups of laneCount, one stream per 64-bit word. Each lane
+// reproduces runBatch1's per-symbol semantics exactly — activity sums,
+// dead-lane early-out accounting, report order (ascending slot within a
+// cycle), and output-buffer interrupts — but the row load rows[sym] is
+// shared work only in the cache sense; what the lanes actually share is
+// the sweep itself: one traversal of the symbol index serves four
+// streams' bookkeeping and branch structure.
+func (m *Machine) runBatchLanes(ctx context.Context, inputs []string, out []BatchResult) error {
+	if m.opts.CollectMatches {
+		// Pre-size each stream's match buffer: append growth from a nil
+		// slice is the lane loop's dominant allocation cost otherwise.
+		// Capacity is invisible in the result contract; a stream that ends
+		// up empty is normalized back to nil below to stay bit-identical
+		// with the per-input Reset+Run sequence.
+		c := 32
+		if m.opts.MatchLimit > 0 && m.opts.MatchLimit < c {
+			c = m.opts.MatchLimit
+		}
+		for i := range out {
+			out[i].Result.Matches = make([]Match, 0, c)
+		}
+	}
+	for base := 0; base < len(inputs); base += laneCount {
+		n := len(inputs) - base
+		if n > laneCount {
+			n = laneCount
+		}
+		if err := m.runLaneGroup(ctx, inputs[base:base+n], out[base:base+n]); err != nil {
+			return err
+		}
+	}
+	for i := range out {
+		if len(out[i].Result.Matches) == 0 {
+			out[i].Result.Matches = nil
+		}
+	}
+	return nil
+}
+
+// laneAcc is one lane's in-flight accumulators. sumActive and live
+// (cycles with a non-empty enabled vector) are enough to reconstruct the
+// full activity block: SumDynamicStates = sumActive - alwaysCnt·live and
+// SumActivePartitions = live, because the single partition is active on
+// exactly the live cycles.
+type laneAcc struct {
+	e         uint64
+	sumActive int
+	maxActive int
+	live      int
+	outBuf    int
+}
+
+// runLaneGroup drives up to four streams through the partition's word-0
+// row column in lockstep: the shared prefix (up to the shortest input)
+// runs in one hand-unrolled loop with every lane's state in locals, and
+// ragged tails drain one lane at a time through the scalar loop. Each
+// lane reproduces runBatch1's per-symbol semantics exactly.
+func (m *Machine) runLaneGroup(ctx context.Context, inputs []string, out []BatchResult) error {
+	p := &m.parts[0]
+	a0 := p.always[0]
+	r0 := p.reports[0]
+	start0 := p.always[0] | p.startOfData[0]
+	rows := p.rows
+	localRows := p.localRows
+	shiftM, selfM, otherM := m.laneShift, m.laneSelf, m.laneOther
+
+	rareM := r0 | otherM
+
+	// The lockstep loop runs only for full groups of a partition with
+	// always-on starts: e then never goes empty (e' = nx | a0 >= a0), so
+	// the dead-lane guard and the per-cycle live counter both vanish —
+	// every lockstep cycle is live by construction. Anything else (ragged
+	// tails, under-filled final groups, anchored-only rule sets whose
+	// lanes can die) drains through the scalar loop, which keeps the
+	// guard.
+	var acc [laneCount]laneAcc
+	minLen := 0
+	if len(inputs) == laneCount && p.hasAlways {
+		minLen = len(inputs[0])
+		for _, in := range inputs[1:] {
+			if len(in) < minLen {
+				minLen = len(in)
+			}
+		}
+	}
+	for l := range acc {
+		acc[l].e = start0
+	}
+
+	var in0, in1, in2, in3 string
+	if minLen > 0 {
+		in0, in1, in2, in3 = inputs[0][:minLen], inputs[1][:minLen], inputs[2][:minLen], inputs[3][:minLen]
+	}
+	e0, e1, e2, e3 := start0, start0, start0, start0
+	sa0, sa1, sa2, sa3 := 0, 0, 0, 0
+	mx0, mx1, mx2, mx3 := 0, 0, 0, 0
+
+	canCancel := ctx.Done() != nil
+	for cs := 0; cs < minLen; cs += ContextCheckBytes {
+		if canCancel {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		ce := cs + ContextCheckBytes
+		if ce > minLen {
+			ce = minLen
+		}
+		for i := cs; i < ce; i++ {
+			{
+				cnt := bits.OnesCount64(e0)
+				sa0 += cnt
+				if cnt > mx0 {
+					mx0 = cnt
+				}
+				mm := rows[in0[i]][0] & e0
+				nx := ((mm & shiftM) << 1) | (mm & selfM)
+				if mm&rareM != 0 {
+					if rb := mm & r0; rb != 0 {
+						m.laneReport(&out[0].Result, &acc[0].outBuf, p, rb, int64(i))
+					}
+					for om := mm & otherM; om != 0; om &= om - 1 {
+						nx |= localRows[bits.TrailingZeros64(om)][0]
+					}
+				}
+				e0 = nx | a0
+			}
+			{
+				cnt := bits.OnesCount64(e1)
+				sa1 += cnt
+				if cnt > mx1 {
+					mx1 = cnt
+				}
+				mm := rows[in1[i]][0] & e1
+				nx := ((mm & shiftM) << 1) | (mm & selfM)
+				if mm&rareM != 0 {
+					if rb := mm & r0; rb != 0 {
+						m.laneReport(&out[1].Result, &acc[1].outBuf, p, rb, int64(i))
+					}
+					for om := mm & otherM; om != 0; om &= om - 1 {
+						nx |= localRows[bits.TrailingZeros64(om)][0]
+					}
+				}
+				e1 = nx | a0
+			}
+			{
+				cnt := bits.OnesCount64(e2)
+				sa2 += cnt
+				if cnt > mx2 {
+					mx2 = cnt
+				}
+				mm := rows[in2[i]][0] & e2
+				nx := ((mm & shiftM) << 1) | (mm & selfM)
+				if mm&rareM != 0 {
+					if rb := mm & r0; rb != 0 {
+						m.laneReport(&out[2].Result, &acc[2].outBuf, p, rb, int64(i))
+					}
+					for om := mm & otherM; om != 0; om &= om - 1 {
+						nx |= localRows[bits.TrailingZeros64(om)][0]
+					}
+				}
+				e2 = nx | a0
+			}
+			{
+				cnt := bits.OnesCount64(e3)
+				sa3 += cnt
+				if cnt > mx3 {
+					mx3 = cnt
+				}
+				mm := rows[in3[i]][0] & e3
+				nx := ((mm & shiftM) << 1) | (mm & selfM)
+				if mm&rareM != 0 {
+					if rb := mm & r0; rb != 0 {
+						m.laneReport(&out[3].Result, &acc[3].outBuf, p, rb, int64(i))
+					}
+					for om := mm & otherM; om != 0; om &= om - 1 {
+						nx |= localRows[bits.TrailingZeros64(om)][0]
+					}
+				}
+				e3 = nx | a0
+			}
+		}
+	}
+	acc[0].e, acc[0].sumActive, acc[0].maxActive, acc[0].live = e0, sa0, mx0, minLen
+	acc[1].e, acc[1].sumActive, acc[1].maxActive, acc[1].live = e1, sa1, mx1, minLen
+	acc[2].e, acc[2].sumActive, acc[2].maxActive, acc[2].live = e2, sa2, mx2, minLen
+	acc[3].e, acc[3].sumActive, acc[3].maxActive, acc[3].live = e3, sa3, mx3, minLen
+
+	alwaysCnt := int(p.alwaysCnt)
+	for l := range inputs {
+		in := inputs[l]
+		if minLen < len(in) {
+			if err := m.runLaneScalar(ctx, in, minLen, &acc[l], &out[l].Result); err != nil {
+				return err
+			}
+		}
+		res := &out[l].Result
+		a := &acc[l]
+		n := int64(len(in))
+		res.Activity.Cycles = n
+		res.Activity.SumActiveStates = int64(a.sumActive)
+		res.Activity.SumDynamicStates = int64(a.sumActive - alwaysCnt*a.live)
+		res.Activity.SumActivePartitions = int64(a.live)
+		res.Activity.MaxActiveStates = int64(a.maxActive)
+		if a.live > 0 {
+			res.Activity.MaxActivePartitions = 1
+		}
+		if n > 0 {
+			res.FIFORefills = (n + cacheLineBytes - 1) / cacheLineBytes
+		}
+	}
+	return nil
+}
+
+// runLaneScalar advances one lane alone over in[from:] — the tail of a
+// ragged group, or a whole stream in an under-filled final group.
+func (m *Machine) runLaneScalar(ctx context.Context, in string, from int, a *laneAcc, res *Result) error {
+	p := &m.parts[0]
+	a0 := p.always[0]
+	r0 := p.reports[0]
+	rows := p.rows
+	localRows := p.localRows
+	shiftM, selfM, otherM := m.laneShift, m.laneSelf, m.laneOther
+	e := a.e
+	canCancel := ctx.Done() != nil
+	for cs := from; cs < len(in); cs += ContextCheckBytes {
+		if canCancel {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		ce := cs + ContextCheckBytes
+		if ce > len(in) {
+			ce = len(in)
+		}
+		for i := cs; i < ce; i++ {
+			if e == 0 {
+				// Dead lane: the rest of the stream contributes cycles but
+				// no activity — runBatch1's early-out.
+				break
+			}
+			cnt := bits.OnesCount64(e)
+			a.sumActive += cnt
+			if cnt > a.maxActive {
+				a.maxActive = cnt
+			}
+			a.live++
+			mm := rows[in[i]][0] & e
+			nx := ((mm & shiftM) << 1) | (mm & selfM)
+			if rb := mm & r0; rb != 0 {
+				m.laneReport(res, &a.outBuf, p, rb, int64(i))
+			}
+			for om := mm & otherM; om != 0; om &= om - 1 {
+				nx |= localRows[bits.TrailingZeros64(om)][0]
+			}
+			e = nx | a0
+		}
+		if e == 0 {
+			break
+		}
+	}
+	a.e = e
+	return nil
+}
+
+// laneReport is the rare reporting path of one lane's cycle, mirroring
+// report() exactly (ascending slot order, output-buffer interrupts at
+// OutputBufferEntries, collection under CollectMatches/MatchLimit) with
+// the lane's private Result and buffer occupancy.
+func (m *Machine) laneReport(res *Result, outBuf *int, p *partition, rb uint64, off int64) {
+	for ; rb != 0; rb &= rb - 1 {
+		slot := bits.TrailingZeros64(rb)
+		res.MatchCount++
+		*outBuf++
+		if int64(*outBuf) > res.OutputBufferPeak {
+			res.OutputBufferPeak = int64(*outBuf)
+		}
+		if *outBuf >= OutputBufferEntries {
+			res.OutputBufferInterrupts++
+			*outBuf = 0
+		}
+		if m.opts.CollectMatches &&
+			(m.opts.MatchLimit == 0 || len(res.Matches) < m.opts.MatchLimit) {
+			res.Matches = append(res.Matches, Match{
+				Offset: off,
+				Code:   p.code[slot],
+				State:  p.state[slot],
+			})
+		}
+	}
+}
+
+// streamState parks one stream's complete machine context between
+// quanta: architectural state (enabled vectors), stream position, FIFO
+// and output-buffer cursors, and the accumulated Result.
+type streamState struct {
+	input        []byte
+	off          int
+	enabled      []uint64
+	pos          int64
+	fifoNextLine int64
+	outBuffered  int
+	res          Result
+	elapsed      time.Duration
+	err          error
+	finished     bool
+}
+
+// runBatchInterleaved rotates the machine through the streams one
+// quantum at a time. Because the hot loop commits enabled' = next|always
+// and zeroes next after every symbol, and FIFO refills are tracked by
+// absolute position, a stream chopped into quanta accumulates exactly
+// the totals of one uninterrupted run — the same invariant RunContext
+// and the sharded runner already depend on. A panic inside one stream's
+// quantum is recovered and fails only that stream; the next restore
+// rebuilds the machine's derived state (active lists, next vectors)
+// from scratch, so the other streams never see the wreckage.
+func (m *Machine) runBatchInterleaved(ctx context.Context, inputs []string, out []BatchResult) error {
+	obs := m.opts.Observer
+	canCancel := ctx.Done() != nil
+	states := make([]streamState, len(inputs))
+	for i, in := range inputs {
+		st := &states[i]
+		st.input = []byte(in)
+		st.enabled = make([]uint64, len(m.parts)*wordsPerPartition)
+		for pi := range m.parts {
+			p := &m.parts[pi]
+			for w := 0; w < wordsPerPartition; w++ {
+				st.enabled[pi*wordsPerPartition+w] = p.always[w] | p.startOfData[w]
+			}
+		}
+	}
+
+	remaining := len(states)
+	for remaining > 0 {
+		for i := range states {
+			st := &states[i]
+			if st.finished || st.err != nil {
+				continue
+			}
+			if canCancel {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			end := st.off + batchQuantum
+			if end > len(st.input) {
+				end = len(st.input)
+			}
+			chunk := st.input[st.off:end]
+			var t0 time.Time
+			if obs != nil {
+				t0 = time.Now()
+			}
+			m.restoreStream(st)
+			err := m.runChunkGuarded(chunk)
+			m.saveStream(st)
+			if obs != nil {
+				st.elapsed += time.Since(t0)
+			}
+			st.off = end
+			if err != nil {
+				st.err = err
+				remaining--
+				continue
+			}
+			if obs == nil && st.off < len(st.input) && allZero(st.enabled) {
+				// Dead stream: without always-on starts the remainder can
+				// produce no activity, only cycle and refill accounting.
+				// Fast-forward it the way runBatch1's early-out does.
+				n := int64(len(st.input) - st.off)
+				first := st.pos / cacheLineBytes
+				last := (st.pos + n - 1) / cacheLineBytes
+				if first < st.fifoNextLine {
+					first = st.fifoNextLine
+				}
+				if last >= first {
+					st.res.FIFORefills += last - first + 1
+					st.fifoNextLine = last + 1
+				}
+				st.res.Activity.Cycles += n
+				st.pos += n
+				st.off = len(st.input)
+			}
+			if st.off >= len(st.input) {
+				st.finished = true
+				remaining--
+				if obs != nil {
+					obs.ObserveRun(int64(len(st.input)), st.elapsed.Seconds(),
+						st.res.OutputBufferPeak)
+				}
+			}
+		}
+	}
+	for i := range states {
+		st := &states[i]
+		if st.err != nil {
+			out[i] = BatchResult{Err: st.err}
+			continue
+		}
+		out[i] = BatchResult{Result: st.res}
+	}
+	return nil
+}
+
+// runChunkGuarded advances the restored stream by one chunk, converting
+// a panic anywhere under the hot loop into this stream's error. The
+// machine may be left inconsistent by the panic; that is acceptable
+// because the failed stream's state is discarded and the next stream's
+// restore rebuilds everything the loop derives.
+func (m *Machine) runChunkGuarded(chunk []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("machine: batch stream panic: %v", r)
+		}
+	}()
+	m.accountRefills(chunk)
+	m.runBatch(chunk)
+	return nil
+}
+
+// restoreStream loads st's parked context into the machine.
+func (m *Machine) restoreStream(st *streamState) {
+	m.pos = st.pos
+	m.fifoNextLine = st.fifoNextLine
+	m.outBuffered = st.outBuffered
+	m.res = st.res
+	for pi := range m.parts {
+		p := &m.parts[pi]
+		copy(p.enabled[:], st.enabled[pi*wordsPerPartition:(pi+1)*wordsPerPartition])
+		p.next = [wordsPerPartition]uint64{}
+	}
+	m.setActive()
+}
+
+// saveStream parks the machine's context back into st.
+func (m *Machine) saveStream(st *streamState) {
+	st.pos = m.pos
+	st.fifoNextLine = m.fifoNextLine
+	st.outBuffered = m.outBuffered
+	st.res = m.res
+	m.res = Result{}
+	for pi := range m.parts {
+		copy(st.enabled[pi*wordsPerPartition:], m.parts[pi].enabled[:])
+	}
+}
+
+func allZero(ws []uint64) bool {
+	for _, w := range ws {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,334 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/bitvec"
+	"cacheautomaton/internal/mapper"
+	"cacheautomaton/internal/nfa"
+	"cacheautomaton/internal/regexc"
+)
+
+// batchReference runs each input through its own Reset+Run sweep on a
+// machine built from the same placement — the per-request serving path
+// RunBatch must reproduce bit for bit.
+func batchReference(t *testing.T, m *Machine, inputs []string) []Result {
+	t.Helper()
+	out := make([]Result, len(inputs))
+	for i, in := range inputs {
+		m.Reset()
+		out[i] = *m.Run([]byte(in))
+	}
+	m.Reset()
+	return out
+}
+
+func batchInputs(rng *rand.Rand, sizes []int, frags []string) []string {
+	inputs := make([]string, len(sizes))
+	for i, n := range sizes {
+		inputs[i] = string(randomText(rng, n, frags))
+	}
+	return inputs
+}
+
+// TestRunBatchMatchesSequential is the batch runner's differential test:
+// for both execution strategies, every stream of a batch must reproduce
+// the per-input Reset+Run Result exactly — matches, offsets, activity,
+// FIFO and output-buffer accounting.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name     string
+		patterns []string
+		frags    []string
+		wantLane bool
+	}{
+		{
+			// Few states in one partition, all slots below 64: the
+			// lane-packed path must engage.
+			name:     "lane-packed",
+			patterns: []string{"needle[0-9]", "x[abc]+y"},
+			frags:    []string{"needle7", "xaby", "xcccy", "need", "xq"},
+			wantLane: true,
+		},
+		{
+			// `x.*y` pins a state bit forever, so streams stay live with
+			// different enabled vectors across quanta.
+			name:     "persistent-state",
+			patterns: []string{"x.*yz", "begin.*end", "hay.{2}stack"},
+			frags:    []string{"x", "yz", "begin", "end", "haynostack"},
+			wantLane: true,
+		},
+		{
+			// 60 merged literals overflow one 64-slot word, forcing the
+			// interleaved save/restore path.
+			name:     "interleaved",
+			patterns: manyLiteralPatterns(60),
+			frags:    []string{"common07head", "common59head", "common"},
+			wantLane: false,
+		},
+	}
+	// Sizes cross every boundary that matters: empty, sub-line,
+	// sub-quantum, exactly one quantum, and multi-quantum; mismatched
+	// lengths exercise the ragged-lane and early-finish paths.
+	sizes := []int{0, 17, 300, 1024, batchQuantum, 3*batchQuantum + 311, 64, 1}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := regexc.CompileSet(tc.patterns, regexc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := mapper.Map(n, mapper.Config{Design: arch.NewDesign(arch.PerfOpt), Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := New(pl, Options{CollectMatches: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.lanePacked != tc.wantLane {
+				t.Fatalf("lanePacked = %v, want %v", m.lanePacked, tc.wantLane)
+			}
+			rng := rand.New(rand.NewSource(42))
+			inputs := batchInputs(rng, sizes, tc.frags)
+			want := batchReference(t, m, inputs)
+
+			check := func(label string, got []BatchResult) {
+				t.Helper()
+				if len(got) != len(inputs) {
+					t.Fatalf("%s: %d results for %d inputs", label, len(got), len(inputs))
+				}
+				for i := range got {
+					if got[i].Err != nil {
+						t.Fatalf("%s: stream %d failed: %v", label, i, got[i].Err)
+					}
+					r := got[i].Result
+					assertResultsEqual(t, fmt.Sprintf("%s stream %d", label, i), &want[i], &r)
+				}
+			}
+
+			// The default strategy (twice — the machine must come back
+			// clean), then the other strategy forced directly so both are
+			// exercised whatever shape the placement took.
+			for round := 0; round < 2; round++ {
+				got, err := m.RunBatch(context.Background(), inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("RunBatch round %d", round), got)
+			}
+			other := make([]BatchResult, len(inputs))
+			if tc.wantLane {
+				if err := m.runBatchInterleaved(context.Background(), inputs, other); err != nil {
+					t.Fatal(err)
+				}
+			} else if len(m.parts) == 1 {
+				if err := m.runBatchLanes(context.Background(), inputs, other); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				return
+			}
+			m.Reset()
+			check("forced other path", other)
+		})
+	}
+}
+
+func manyLiteralPatterns(k int) []string {
+	pats := make([]string, k)
+	for i := range pats {
+		pats[i] = fmt.Sprintf("common%02dhead", i)
+	}
+	return pats
+}
+
+// TestRunBatchDeadStreams covers the dead-stream fast-forward: an
+// automaton whose only start state fires at start-of-data goes quiet
+// after a few symbols, and the remaining input must still contribute
+// exact cycle and FIFO-refill accounting.
+func TestRunBatchDeadStreams(t *testing.T) {
+	a := nfa.New()
+	s0 := a.AddState(nfa.State{Class: bitvec.ClassOf('a'), Start: nfa.StartOfData})
+	s1 := a.AddState(nfa.State{Class: bitvec.ClassOf('b')})
+	a.AddEdge(s0, s1)
+	a.States[s1].Report = true
+	a.States[s1].ReportCode = 1
+
+	pl, err := mapper.Map(a, mapper.Config{Design: arch.NewDesign(arch.PerfOpt), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(pl, Options{CollectMatches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	long := make([]byte, 2*batchQuantum+77)
+	for i := range long {
+		long[i] = 'z'
+	}
+	hit := append([]byte("ab"), long...)
+	inputs := []string{string(long), string(hit), "a", ""}
+	want := batchReference(t, m, inputs)
+
+	for _, forced := range []string{"auto", "interleaved"} {
+		got := make([]BatchResult, len(inputs))
+		if forced == "auto" {
+			res, err := m.RunBatch(context.Background(), inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = res
+		} else {
+			if err := m.runBatchInterleaved(context.Background(), inputs, got); err != nil {
+				t.Fatal(err)
+			}
+			m.Reset()
+		}
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("%s: stream %d failed: %v", forced, i, got[i].Err)
+			}
+			r := got[i].Result
+			assertResultsEqual(t, fmt.Sprintf("%s dead stream %d", forced, i), &want[i], &r)
+		}
+	}
+}
+
+// TestRunBatchContextCancel: a canceled ctx abandons the batch with its
+// error, and the machine comes back Reset and fully usable.
+func TestRunBatchContextCancel(t *testing.T) {
+	seq, pool := buildPool(t, []string{"needle[0-9]", "x[abc]+y"}, 1)
+	m := pool[0]
+	rng := rand.New(rand.NewSource(7))
+	inputs := batchInputs(rng, []int{1 << 20, 1 << 20}, []string{"needle7", "xaby"})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunBatch(ctx, inputs); err == nil {
+		t.Fatal("canceled batch returned no error")
+	}
+
+	// The machine must be clean: a fresh run matches the reference.
+	small := []byte(inputs[0][:4096])
+	seq.Reset()
+	want := *seq.Run(small)
+	m.Reset()
+	got := *m.Run(small)
+	assertResultsEqual(t, "post-cancel run", &want, &got)
+}
+
+// panicOnceObserver panics on its nth ObserveCycle call — a way to blow
+// up inside exactly one stream's quantum of an interleaved batch.
+type panicOnceObserver struct {
+	at    int
+	calls int
+}
+
+func (o *panicOnceObserver) ObserveCycle(a, p, g1, g4 int64) {
+	o.calls++
+	if o.calls == o.at {
+		panic("observer blew up")
+	}
+}
+func (o *panicOnceObserver) ObserveMatches(int64)             {}
+func (o *panicOnceObserver) ObserveOverflow()                 {}
+func (o *panicOnceObserver) ObserveRun(int64, float64, int64) {}
+
+// TestRunBatchStreamPanicIsolation: a panic inside one stream's quantum
+// fails only that stream — the others still reproduce their reference
+// results exactly, on the same machine, in the same batch.
+func TestRunBatchStreamPanicIsolation(t *testing.T) {
+	patterns := []string{"needle[0-9]", "x[abc]+y"}
+	n, err := regexc.CompileSet(patterns, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := mapper.Map(n, mapper.Config{Design: arch.NewDesign(arch.PerfOpt), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(pl, Options{CollectMatches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	inputs := batchInputs(rng, []int{1000, 1000, 1000}, []string{"needle7", "xaby"})
+	want := batchReference(t, ref, inputs)
+
+	// An Observer forces the interleaved path; sub-quantum inputs mean
+	// one quantum per stream, so cycle 1500 lands inside stream 1.
+	obs := &panicOnceObserver{at: 1500}
+	m, err := New(pl, Options{CollectMatches: true, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.lanePacked {
+		t.Fatal("observer-equipped machine must not be lane-packed")
+	}
+	got, err := m.RunBatch(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Err == nil {
+		t.Fatal("stream 1 should have failed")
+	}
+	for _, i := range []int{0, 2} {
+		if got[i].Err != nil {
+			t.Fatalf("stream %d failed: %v", i, got[i].Err)
+		}
+		r := got[i].Result
+		assertResultsEqual(t, fmt.Sprintf("survivor stream %d", i), &want[i], &r)
+	}
+}
+
+// TestRunBatchRandomized sweeps random pattern sets and ragged input
+// mixes through RunBatch against the per-input reference.
+func TestRunBatchRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	pieces := []string{"ab", "a+b", "[abc]{2}", "c.d", "x.*y", "(ab|ba)c", "q{2,4}", "[^a]z"}
+	for trial := 0; trial < 15; trial++ {
+		var pats []string
+		for p := 0; p < 2+r.Intn(5); p++ {
+			pats = append(pats, pieces[r.Intn(len(pieces))]+pieces[r.Intn(len(pieces))])
+		}
+		n, err := regexc.CompileSet(pats, regexc.Options{})
+		if err != nil {
+			continue
+		}
+		pl, err := mapper.Map(n, mapper.Config{Design: arch.NewDesign(arch.PerfOpt), Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(pl, Options{CollectMatches: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + r.Intn(7)
+		inputs := make([]string, k)
+		for i := range inputs {
+			in := make([]byte, r.Intn(6000))
+			for j := range in {
+				in[j] = byte("abcdxyzq"[r.Intn(8)])
+			}
+			inputs[i] = string(in)
+		}
+		want := batchReference(t, m, inputs)
+		got, err := m.RunBatch(context.Background(), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("trial %d stream %d: %v", trial, i, got[i].Err)
+			}
+			res := got[i].Result
+			assertResultsEqual(t, fmt.Sprintf("trial %d stream %d (lane=%v)", trial, i, m.lanePacked), &want[i], &res)
+		}
+	}
+}

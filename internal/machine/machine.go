@@ -253,6 +253,19 @@ type Machine struct {
 	fifoNextLine int64
 	outBuffered  int
 	res          Result
+	// lanePacked marks a machine whose whole architectural state fits one
+	// 64-bit word (single partition, every used slot below 64) and that
+	// has no per-cycle Observer: RunBatch may then drive up to four
+	// independent streams through the row arrays word-wise, one stream
+	// per lane (see batch.go).
+	lanePacked bool
+	// laneShift/laneSelf/laneOther decompose the local switch of a
+	// lane-packed machine for branch-free fan-out. A matched slot s whose
+	// entire fan-out is {s+1} and/or {s} — the concatenation chains and
+	// counter/repetition self-loops that dominate compiled regexes — is
+	// covered by ((mm&laneShift)<<1) | (mm&laneSelf); the rare slots with
+	// any other target land in laneOther and take the per-slot walk.
+	laneShift, laneSelf, laneOther uint64
 }
 
 // New builds a machine from a placement (which it verifies first).
@@ -274,9 +287,13 @@ func New(pl *mapper.Placement, opts Options) (*Machine, error) {
 		cross[i] = make([][]crossTarget, size)
 	}
 	// Program SRAM rows, start/report masks, and local switches.
+	maxSlot := 0
 	for s := range n.States {
 		st := &n.States[s]
 		pi, slot := int(pl.PartitionOf[s]), int(pl.SlotOf[s])
+		if slot > maxSlot {
+			maxSlot = slot
+		}
 		p := &m.parts[pi]
 		wi, bit := slot>>6, uint64(1)<<(slot&63)
 		p.state[slot] = nfa.StateID(s)
@@ -340,6 +357,29 @@ func New(pl *mapper.Placement, opts Options) (*Machine, error) {
 		p.hasAlways = anyAlways != 0
 	}
 	m.activeFlag = make([]bool, len(m.parts))
+	m.lanePacked = len(m.parts) == 1 && maxSlot < 64 && opts.Observer == nil
+	if m.lanePacked {
+		p := &m.parts[0]
+		for lm := p.hasLocal[0]; lm != 0; lm &= lm - 1 {
+			s := bits.TrailingZeros64(lm)
+			t := p.localRows[s][0]
+			succ := uint64(0)
+			if s < 63 {
+				succ = 1 << (s + 1)
+			}
+			self := uint64(1) << s
+			if t&^(succ|self) == 0 {
+				if t&succ != 0 {
+					m.laneShift |= 1 << s
+				}
+				if t&self != 0 {
+					m.laneSelf |= 1 << s
+				}
+			} else {
+				m.laneOther |= 1 << s
+			}
+		}
+	}
 	m.Reset()
 	return m, nil
 }

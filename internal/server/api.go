@@ -187,6 +187,16 @@ func payload(text, b64 string, max int64) ([]byte, error) {
 	return data, nil
 }
 
+// textPayloadErr is payload's validation for a text-only body, split out
+// so the batched serving path can validate req.Input without the
+// byte-slice materialization it never needs.
+func textPayloadErr(text string, max int64) error {
+	if max > 0 && int64(len(text)) > max {
+		return errf(http.StatusRequestEntityTooLarge, "payload of %d bytes exceeds limit %d", len(text), max)
+	}
+	return nil
+}
+
 func wireMatches(ms []ca.Match) []WireMatch {
 	out := make([]WireMatch, len(ms))
 	for i, m := range ms {

@@ -76,6 +76,18 @@ type Config struct {
 	// Logger receives structured serving logs with trace-id correlation
 	// (nil discards them).
 	Logger *slog.Logger
+	// BatchWindow enables small-request coalescing: eligible /match
+	// requests against the same rule set that arrive within this window
+	// are packed into one batched machine sweep. 0 (the default) disables
+	// batching entirely and preserves the per-request lease path exactly.
+	BatchWindow time.Duration
+	// BatchMax caps how many requests one batch packs; reaching it
+	// flushes immediately without waiting out the window (default 64).
+	BatchMax int
+	// BatchBytes bounds batching eligibility and flush size: a request
+	// larger than this bypasses the batcher, and a batch whose total
+	// payload reaches it flushes immediately (default 256 KiB).
+	BatchBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -109,13 +121,25 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.BatchWindow > 0 {
+		if c.BatchMax <= 0 {
+			c.BatchMax = 64
+		}
+		if c.BatchBytes <= 0 {
+			c.BatchBytes = 256 << 10
+		}
+	}
 	return c
 }
 
-// ruleset is one compiled, immutable rule set.
+// ruleset is one compiled, immutable rule set. b is its request
+// coalescer, nil unless Config.BatchWindow > 0; replacing a rule set
+// replaces the batcher with it (pending batches on the old one still
+// flush against the automaton their members were admitted to).
 type ruleset struct {
 	info RulesetInfo
 	a    *ca.Automaton
+	b    *batcher
 }
 
 // session is one streaming session. The mutex serializes feeds (the
@@ -171,6 +195,16 @@ type Server struct {
 	// reaper lifecycle.
 	stopReaper chan struct{}
 	reaperDone chan struct{}
+
+	// Batch-flusher lifecycle (nil channels when batching is off). One
+	// persistent goroutine drains flushq so batch sweeps run on a warm
+	// stack instead of growing a fresh 2 KiB goroutine stack through the
+	// whole machine call chain on every flush; dispatchFlush falls back
+	// to flushing on the caller when the queue is full.
+	flushq      chan batchFlush
+	stopFlusher chan struct{}
+	flusherDone chan struct{}
+	flusherStop sync.Once
 }
 
 // New builds a Server.
@@ -198,6 +232,12 @@ func New(cfg Config) *Server {
 		go s.reapIdleSessions()
 	} else {
 		close(s.reaperDone)
+	}
+	if cfg.BatchWindow > 0 {
+		s.flushq = make(chan batchFlush, 64)
+		s.stopFlusher = make(chan struct{})
+		s.flusherDone = make(chan struct{})
+		go s.runFlusher()
 	}
 	return s
 }
@@ -554,6 +594,9 @@ func (s *Server) Compile(ctx context.Context, name string, req CompileRequest) (
 			SignatureNames: names,
 		},
 	}
+	if s.cfg.BatchWindow > 0 {
+		rs.b = &batcher{s: s, rs: rs}
+	}
 	s.mu.Lock()
 	s.rulesets[name] = rs
 	s.col.Rulesets.Set(int64(len(s.rulesets)))
@@ -671,8 +714,17 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 	if req.Ruleset == "" {
 		return nil, errf(http.StatusBadRequest, "missing ruleset")
 	}
-	input, err := payload(req.Input, req.InputB64, s.cfg.MaxBodyBytes)
-	if err != nil {
+	// The payload stays a string here: the batched path scans it in
+	// place, so a text body reaches the sweep with no per-request copy.
+	// Only the per-request run below materializes bytes.
+	input := req.Input
+	if req.InputB64 != "" {
+		data, err := payload(req.Input, req.InputB64, s.cfg.MaxBodyBytes)
+		if err != nil {
+			return nil, err
+		}
+		input = string(data)
+	} else if err := textPayloadErr(req.Input, s.cfg.MaxBodyBytes); err != nil {
 		return nil, err
 	}
 	if req.Shards < 0 {
@@ -681,6 +733,12 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 	rs, err := s.ruleset(req.Ruleset)
 	if err != nil {
 		return nil, err
+	}
+	// Small unsharded requests coalesce into shared machine sweeps when
+	// batching is on; oversize or deadline-critical requests take the
+	// per-request path below unchanged.
+	if rs.b != nil && s.batchEligible(ctx, req, int64(len(input))) {
+		return s.matchBatched(ctx, rt, rs.b, input)
 	}
 	qsp := rt.StartStage("queue")
 	release, err := s.acquireSlot(ctx)
@@ -709,10 +767,11 @@ func (s *Server) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 	if shards > s.cfg.MaxShards {
 		shards = s.cfg.MaxShards
 	}
+	data := []byte(input)
 	if shards > 1 {
-		ms, st, err = rs.a.RunParallelContext(ctx, input, shards)
+		ms, st, err = rs.a.RunParallelContext(ctx, data, shards)
 	} else {
-		ms, st, err = rs.a.RunContext(ctx, input)
+		ms, st, err = rs.a.RunContext(ctx, data)
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -1087,6 +1146,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		default:
 			err = ctx.Err()
 		}
+	}
+
+	// Every batch generation holds an in-flight op until its flush
+	// completes, so a successful drain implies flushq is empty and no new
+	// sends can happen: the flusher goroutine can stop safely.
+	if err == nil && s.flushq != nil {
+		s.flusherStop.Do(func() {
+			close(s.stopFlusher)
+			<-s.flusherDone
+		})
 	}
 
 	s.mu.RLock()

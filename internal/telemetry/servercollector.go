@@ -49,8 +49,15 @@ type ServerCollector struct {
 	WALRecords  *Counter
 	WALReplayed *Counter
 	WALErrors   *Counter
+	// BatchSize is the members-per-flush distribution of the request
+	// coalescer; BatchWait is how long each member sat waiting for its
+	// batch to flush; BatchedRequests counts requests served through
+	// batched machine sweeps.
+	BatchSize       *Histogram
+	BatchWait       *Histogram
+	BatchedRequests *Counter
 	// StageSeconds breaks serving latency down by pipeline stage
-	// (stage = queue | lease | run | wal), fed from the flight
+	// (stage = queue | batch | lease | run | wal), fed from the flight
 	// recorder's per-request stage spans.
 	StageSeconds *HistogramVec
 	// RulesetSeconds is end-to-end request latency per rule set, for
@@ -90,6 +97,9 @@ func NewServerCollector(reg *Registry) *ServerCollector {
 		WALRecords:        reg.Counter("ca_wal_records_total", "session WAL records appended"),
 		WALReplayed:       reg.Counter("ca_wal_replayed_total", "session WAL records replayed at startup"),
 		WALErrors:         reg.Counter("ca_wal_errors_total", "session WAL append failures (WAL fail-stops)"),
+		BatchSize:         reg.Histogram("ca_server_batch_size", "match requests coalesced per batch flush", ExpBuckets(1, 2, 9)),
+		BatchWait:         reg.Histogram("ca_server_batch_wait_seconds", "time each request waited for its batch to flush", latencyBuckets),
+		BatchedRequests:   reg.Counter("ca_server_batched_requests_total", "match requests served through batched machine sweeps"),
 		StageSeconds:      reg.HistogramVec("ca_server_stage_seconds", "serving latency by pipeline stage", "stage", latencyBuckets),
 		RulesetSeconds:    reg.HistogramVec("ca_server_ruleset_seconds", "end-to-end request latency by rule set", "ruleset", latencyBuckets),
 		SlowRequests:      reg.Counter("ca_server_slow_requests_total", "requests at or above the slow threshold"),
