@@ -30,6 +30,7 @@ import (
 
 	"cacheautomaton/internal/anml"
 	"cacheautomaton/internal/arch"
+	"cacheautomaton/internal/caformat"
 	"cacheautomaton/internal/machine"
 	"cacheautomaton/internal/mapper"
 	"cacheautomaton/internal/nfa"
@@ -166,6 +167,10 @@ type Automaton struct {
 	// guarded by countMu.
 	countMu      sync.Mutex
 	countMachine *machine.Machine
+	// sigNames carries auxiliary per-report-code names (today: ClamAV
+	// signature names indexed by Match.Pattern) so Save/Load round-trips
+	// everything a server needs to re-serve the rule set.
+	sigNames []string
 }
 
 // CompileRegex compiles a rule set (one pattern per entry; matches report
@@ -217,6 +222,13 @@ func fromNFA(n *nfa.NFA, opts Options, tr *telemetry.Trace) (*Automaton, error) 
 	if err != nil {
 		return nil, fmt.Errorf("cacheautomaton: %w", err)
 	}
+	return newAutomaton(pl, opts, tr)
+}
+
+// newAutomaton builds the executable wrapper (machine pools, report)
+// around a verified placement — the shared tail of every compile path and
+// of Load.
+func newAutomaton(pl *mapper.Placement, opts Options, tr *telemetry.Trace) (*Automaton, error) {
 	sb := tr.StartPhase("machine.build")
 	runPool := machine.NewPool(pl, machine.Options{CollectMatches: true, Observer: opts.RunObserver}, 0)
 	// Build (and pool) one machine eagerly so placement problems surface at
@@ -229,7 +241,7 @@ func fromNFA(n *nfa.NFA, opts Options, tr *telemetry.Trace) (*Automaton, error) 
 	sb.SetAttr("partitions", int64(pl.NumPartitions()))
 	sb.End()
 	return &Automaton{
-		design:    design,
+		design:    pl.Design,
 		nfa:       pl.NFA,
 		placement: pl,
 		report:    tr.Report(),
@@ -238,6 +250,46 @@ func fromNFA(n *nfa.NFA, opts Options, tr *telemetry.Trace) (*Automaton, error) 
 		shardPool: machine.NewPool(pl, machine.Options{CollectMatches: true}, 0),
 	}, nil
 }
+
+// Save serializes the compiled automaton (placement plus auxiliary
+// signature names) in the caformat container. Load(Save(a)) serves
+// bit-identical match sets: state IDs, report codes and partition layout
+// are preserved exactly. The encoding is deterministic, which is what
+// makes the content-addressed compile cache stable.
+func Save(a *Automaton, w io.Writer) error {
+	return caformat.Encode(w, a.placement, a.sigNames)
+}
+
+// Save serializes the automaton to w; see the package-level Save.
+func (a *Automaton) Save(w io.Writer) error { return Save(a, w) }
+
+// Load reconstructs an automaton from a caformat container written by
+// Save. The artifact is self-describing: the design (CA_P/CA_S) and
+// placement come from the file, so opts.Design and the compile-shaping
+// options are ignored — only runtime options (RunObserver) apply.
+// Corrupted input returns a structured error, never a panic.
+func Load(r io.Reader, opts Options) (*Automaton, error) {
+	tr := telemetry.NewTrace("load-caformat")
+	sp := tr.StartPhase("caformat.decode")
+	pl, names, err := caformat.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("cacheautomaton: %w", err)
+	}
+	sp.SetAttr("states", int64(pl.NFA.NumStates()))
+	sp.SetAttr("partitions", int64(pl.NumPartitions()))
+	sp.End()
+	a, err := newAutomaton(pl, opts, tr)
+	if err != nil {
+		return nil, err
+	}
+	a.sigNames = names
+	return a, nil
+}
+
+// SignatureNames returns the auxiliary per-report-code names the
+// automaton was compiled with (ClamAV signature names), or nil. The
+// returned slice must not be mutated.
+func (a *Automaton) SignatureNames() []string { return a.sigNames }
 
 // CompilePhase is one timed phase of the compile pipeline.
 type CompilePhase struct {
@@ -824,5 +876,6 @@ func CompileClamAVDatabase(text string, opts Options) (*Automaton, []string, err
 	if err != nil {
 		return nil, nil, err
 	}
+	a.sigNames = names
 	return a, names, nil
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	ca "cacheautomaton"
+)
+
+// coldStartResult is the JSON report of the cold-start comparison —
+// results/compile-cache.json is the committed snapshot.
+type coldStartResult struct {
+	Rules      int     `json:"rules"`
+	States     int     `json:"states"`
+	Partitions int     `json:"partitions"`
+	BlobKB     int     `json:"blob_kb"`
+	CompileMS  float64 `json:"compile_ms"`
+	LoadMS     float64 `json:"load_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// runColdStart measures the compile-cache payoff: compiling a synthetic
+// rule set of n patterns from source vs loading its caformat encoding
+// (what a cached cad preload does). Both sides are best-of-3 and include
+// machine-pool construction, so the ratio is exactly the cold-start
+// ratio a daemon sees. Returns an error when the speedup misses
+// minSpeedup (CI's cold-start smoke gate).
+func runColdStart(w io.Writer, n int, seed int64, minSpeedup float64) error {
+	patterns := make([]string, n)
+	for i := range patterns {
+		// Deterministic, moderately shaped patterns: a literal prefix to
+		// keep components small plus classes/alternations so the compiler
+		// does real work per rule.
+		patterns[i] = fmt.Sprintf("pat%04dx[0-9]{2}(foo|bar)%04d", i, (i*7+int(seed))%10000)
+	}
+
+	var (
+		a         *ca.Automaton
+		compileMS = float64(1 << 60)
+	)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		got, err := ca.CompileRegex(patterns, ca.Options{Seed: seed})
+		if err != nil {
+			return fmt.Errorf("compile: %w", err)
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; ms < compileMS {
+			compileMS = ms
+		}
+		a = got
+	}
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		return fmt.Errorf("save: %w", err)
+	}
+	blob := buf.Bytes()
+
+	loadMS := float64(1 << 60)
+	var loaded *ca.Automaton
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		got, err := ca.Load(bytes.NewReader(blob), ca.Options{})
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; ms < loadMS {
+			loadMS = ms
+		}
+		loaded = got
+	}
+	if loaded.States() != a.States() || loaded.Partitions() != a.Partitions() {
+		return fmt.Errorf("load mismatch: %d states/%d partitions vs compiled %d/%d",
+			loaded.States(), loaded.Partitions(), a.States(), a.Partitions())
+	}
+
+	res := coldStartResult{
+		Rules:      n,
+		States:     a.States(),
+		Partitions: a.Partitions(),
+		BlobKB:     len(blob) / 1024,
+		CompileMS:  compileMS,
+		LoadMS:     loadMS,
+		Speedup:    compileMS / loadMS,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if minSpeedup > 0 && res.Speedup < minSpeedup {
+		return fmt.Errorf("cold-start speedup %.1fx below the %.1fx floor", res.Speedup, minSpeedup)
+	}
+	return nil
+}

@@ -64,7 +64,17 @@ func main() {
 	rounds := flag.Int("rounds", 5, "serving mode: rounds (min-of, alternating order)")
 	batchWindow := flag.Duration("batch-window", time.Millisecond, "serving mode: coalescing window for the batched server")
 	batchMax := flag.Int("batch-max", 256, "serving mode: max members per batch for the batched server")
+	coldstart := flag.Int("coldstart", 0, "cold-start mode: compile this many synthetic rules vs loading their caformat encoding (JSON to stdout)")
+	minSpeedup := flag.Float64("min-speedup", 0, "cold-start mode: exit non-zero when load is not this many times faster than compile (0 disables)")
 	flag.Parse()
+
+	if *coldstart > 0 {
+		if err := runColdStart(os.Stdout, *coldstart, *seed, *minSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *clients > 0 {
 		if err := runServing(os.Stdout, *clients, *payloadB, *requests, *rounds, *batchWindow, *batchMax, *seed); err != nil {

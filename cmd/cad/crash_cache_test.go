@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cacheautomaton/internal/server"
+)
+
+// metricsJSONURL extracts the telemetry endpoint from a spawned cad's
+// startup logs and returns its /metrics.json URL.
+func metricsJSONURL(t *testing.T, logs []string) string {
+	t.Helper()
+	for _, line := range logs {
+		if rest, ok := strings.CutPrefix(line, "cad: telemetry on "); ok {
+			return rest + ".json"
+		}
+	}
+	t.Fatalf("no telemetry line in logs:\n%s", strings.Join(logs, "\n"))
+	return ""
+}
+
+// scrapeCounter reads one counter from a cad /metrics.json endpoint.
+func scrapeCounter(t *testing.T, url, name string) int64 {
+	t.Helper()
+	var all map[string]any
+	if code := getJSON(t, url, &all); code != 200 {
+		t.Fatalf("scrape %s: %d", url, code)
+	}
+	v, ok := all[name]
+	if !ok {
+		t.Fatalf("metric %q missing from %s (have %d metrics)", name, url, len(all))
+	}
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("metric %q = %T %v, want a number", name, v, v)
+	}
+	return int64(f)
+}
+
+// TestCadCrashRecoveryWithCache extends the crash drill with the compile
+// cache: a cad with -wal-dir AND -cache-dir is SIGKILLed mid-session; the
+// restarted process must replay from the cache (ca_cache_hits_total == 1,
+// ca_cache_misses_total == 0 — the WAL replay loaded the serialized
+// automaton, it did not recompile) and continue the session bit-
+// identically. Then the cache entry is corrupted on disk and the process
+// killed again: the third boot must fall back to a recompile (counted by
+// ca_cache_errors_total), never a failed start, and still serve.
+func TestCadCrashRecoveryWithCache(t *testing.T) {
+	walDir := t.TempDir()
+	cacheDir := t.TempDir()
+
+	chunks := []string{
+		"xx needle1 yy",
+		"more filler then need", // ends mid-pattern...
+		"le5 and then needle7",  // ...which completes after the first crash
+		"quiet chunk",
+		"last one: needle9 end",
+	}
+	const killAfter = 2 // chunks fed to process 1
+	const corruptAt = 4 // chunks fed before the cache entry is corrupted
+	compileReq := map[string]any{"patterns": []string{"needle[0-9]"}, "seed": 42}
+
+	// Reference: the same session served by one uninterrupted server.
+	type wm struct {
+		Offset  int64 `json:"offset"`
+		Pattern int   `json:"pattern"`
+	}
+	var wantMatches []wm
+	var wantPos int64
+	{
+		ref := server.New(server.Config{})
+		defer ref.Shutdown(context.Background())
+		if _, err := ref.Compile(context.Background(), "rs", server.CompileRequest{Patterns: []string{"needle[0-9]"}, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := ref.OpenSession(context.Background(), server.OpenSessionRequest{Ruleset: "rs"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range chunks {
+			fr, err := ref.Feed(context.Background(), sess.Session, server.FeedRequest{Chunk: c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range fr.Matches {
+				wantMatches = append(wantMatches, wm{m.Offset, m.Pattern})
+			}
+			wantPos = fr.Pos
+		}
+	}
+
+	args := []string{"-http", "127.0.0.1:0", "-wal-dir", walDir, "-cache-dir", cacheDir, "-metrics-addr", "127.0.0.1:0"}
+
+	// Process 1: compile (cache miss, entry stored), feed, SIGKILL.
+	base, cmd, logs := spawnCad(t, args...)
+	if !strings.Contains(strings.Join(logs, "\n"), "cad: compile cache in "+cacheDir) {
+		t.Fatalf("no compile-cache line in logs:\n%s", strings.Join(logs, "\n"))
+	}
+	murl := metricsJSONURL(t, logs)
+	if code := putJSON(t, base+"/rulesets/rs", compileReq, nil); code != 200 {
+		t.Fatalf("compile: %d", code)
+	}
+	if h, m := scrapeCounter(t, murl, "ca_cache_hits_total"), scrapeCounter(t, murl, "ca_cache_misses_total"); h != 0 || m != 1 {
+		t.Fatalf("cold boot: hits=%d misses=%d, want 0/1", h, m)
+	}
+	var sess struct {
+		Session string `json:"session"`
+	}
+	if code := postJSON(t, base+"/sessions", map[string]any{"ruleset": "rs"}, &sess); code != 200 {
+		t.Fatal("open session")
+	}
+	var got []wm
+	var feed struct {
+		Matches []wm  `json:"matches"`
+		Pos     int64 `json:"pos"`
+	}
+	for _, c := range chunks[:killAfter] {
+		if code := postJSON(t, base+"/sessions/"+sess.Session+"/feed", map[string]any{"chunk": c}, &feed); code != 200 {
+			t.Fatalf("feed: %d", code)
+		}
+		got = append(got, feed.Matches...)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Process 2: replay must hit the cache, not recompile.
+	base2, cmd2, logs2 := spawnCad(t, args...)
+	if !strings.Contains(strings.Join(logs2, "\n"), "replayed 1 rulesets, resumed 1 sessions") {
+		t.Fatalf("replay log missing; logs:\n%s", strings.Join(logs2, "\n"))
+	}
+	murl2 := metricsJSONURL(t, logs2)
+	if h, m := scrapeCounter(t, murl2, "ca_cache_hits_total"), scrapeCounter(t, murl2, "ca_cache_misses_total"); h != 1 || m != 0 {
+		t.Fatalf("cached replay: hits=%d misses=%d, want 1/0 (replay must not recompile)", h, m)
+	}
+	for _, c := range chunks[killAfter:corruptAt] {
+		if code := postJSON(t, base2+"/sessions/"+sess.Session+"/feed", map[string]any{"chunk": c}, &feed); code != 200 {
+			t.Fatalf("feed after cached restart: %d", code)
+		}
+		got = append(got, feed.Matches...)
+	}
+	if err := cmd2.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd2.Wait()
+
+	// Corrupt the cache entry: the next boot must recompile, not die.
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.caf"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v (err %v), want exactly 1", entries, err)
+	}
+	blob, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(blob) / 2; i < len(blob)/2+8 && i < len(blob); i++ {
+		blob[i] ^= 0x5a
+	}
+	if err := os.WriteFile(entries[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process 3: corrupted entry falls back to recompile and still serves.
+	base3, _, logs3 := spawnCad(t, args...)
+	if !strings.Contains(strings.Join(logs3, "\n"), "replayed 1 rulesets, resumed 1 sessions") {
+		t.Fatalf("replay log missing after corruption; logs:\n%s", strings.Join(logs3, "\n"))
+	}
+	murl3 := metricsJSONURL(t, logs3)
+	if e := scrapeCounter(t, murl3, "ca_cache_errors_total"); e < 1 {
+		t.Fatalf("ca_cache_errors_total = %d, want >= 1 after corrupted entry", e)
+	}
+	if h := scrapeCounter(t, murl3, "ca_cache_hits_total"); h != 0 {
+		t.Fatalf("ca_cache_hits_total = %d, want 0 after corrupted entry", h)
+	}
+	for _, c := range chunks[corruptAt:] {
+		if code := postJSON(t, base3+"/sessions/"+sess.Session+"/feed", map[string]any{"chunk": c}, &feed); code != 200 {
+			t.Fatalf("feed after corrupted-cache restart: %d", code)
+		}
+		got = append(got, feed.Matches...)
+	}
+
+	// Bit-identical continuation across both restarts.
+	if feed.Pos != wantPos {
+		t.Errorf("final pos = %d, want %d", feed.Pos, wantPos)
+	}
+	if len(got) != len(wantMatches) {
+		t.Fatalf("matches across crashes = %+v, want %+v", got, wantMatches)
+	}
+	for i := range got {
+		if got[i] != wantMatches[i] {
+			t.Errorf("match %d = %+v, want %+v", i, got[i], wantMatches[i])
+		}
+	}
+}

@@ -30,7 +30,12 @@
 // client re-sends the suffix). -wal-dir enables the session write-ahead
 // log: compiles and per-feed session checkpoints are appended to a
 // checksummed log that a restarting cad replays, so rule sets and open
-// sessions survive kill -9 bit-identically. /healthz answers liveness;
+// sessions survive kill -9 bit-identically. -cache-dir enables the
+// content-addressed compile cache: every compiled automaton is
+// serialized (internal/caformat) under hash(rules, front-end, options),
+// so preload and WAL replay load instead of recompiling, and
+// POST /rulesets/{name}/reload (guarded by -admin-token when set) swaps
+// a rule set atomically under live traffic. /healthz answers liveness;
 // /readyz flips to 503 at drain start before any listener closes. On
 // SIGINT/SIGTERM cad drains gracefully: in-flight requests finish
 // (bounded by -drain-timeout), then sessions close and their leased
@@ -90,6 +95,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight work on shutdown")
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side execution deadline per match/feed (0 disables)")
 	walDir := fs.String("wal-dir", "", "directory for the session write-ahead log (crash recovery); empty disables")
+	cacheDir := fs.String("cache-dir", "", "directory for the content-addressed compile cache: preload and WAL replay load serialized automata instead of recompiling; empty disables")
+	adminToken := fs.String("admin-token", "", "bearer token required by admin endpoints (rule-set reload); empty leaves them open")
 	slowMS := fs.Int("slow-ms", 250, "flight-recorder slow threshold in ms: requests at or above it are pinned and logged (<0 disables slow pinning)")
 	traceRing := fs.Int("trace-ring", telemetry.DefaultTraceRingSize, "flight-recorder ring size: last N traces plus last N slow/error traces retained (0 disables tracing)")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
@@ -135,7 +142,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		BatchWindow:    *batchWindow,
 		BatchMax:       *batchMax,
 		BatchBytes:     *batchBytes,
+		AdminToken:     *adminToken,
 	})
+
+	if *cacheDir != "" {
+		// Attach before the WAL so replay's recompiles hit the cache: N
+		// replayed sessions on one rule set cost at most one compile ever.
+		if err := s.AttachCache(*cacheDir); err != nil {
+			fmt.Fprintf(stderr, "cad: cache %s: %v\n", *cacheDir, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "cad: compile cache in %s\n", *cacheDir)
+	}
 
 	if *walDir != "" {
 		// Replay before preload and before any listener opens: recovered
@@ -161,6 +179,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 
 	var bound addrs
 
+	// The telemetry endpoint opens before the API listeners: its address
+	// is printed first, so a supervisor scanning startup logs knows every
+	// bound address by the time the HTTP line (the "serving" signal)
+	// appears.
+	if *metricsAddr != "" {
+		ts, err := telemetry.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "cad: metrics endpoint: %v\n", err)
+			return 1
+		}
+		defer ts.Close()
+		bound.Metrics = ts.Addr()
+		fmt.Fprintf(stdout, "cad: telemetry on http://%s/metrics\n", bound.Metrics)
+	}
+
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		fmt.Fprintf(stderr, "cad: listen %s: %v\n", *httpAddr, err)
@@ -183,18 +216,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		tcpSrv = s.ServeTCP(tln)
 		bound.TCP = tcpSrv.Addr().String()
 		fmt.Fprintf(stdout, "cad: TCP line protocol on %s\n", bound.TCP)
-	}
-
-	if *metricsAddr != "" {
-		ts, err := telemetry.Serve(*metricsAddr, nil)
-		if err != nil {
-			fmt.Fprintf(stderr, "cad: metrics endpoint: %v\n", err)
-			httpSrv.Close()
-			return 1
-		}
-		defer ts.Close()
-		bound.Metrics = ts.Addr()
-		fmt.Fprintf(stdout, "cad: telemetry on http://%s/metrics\n", bound.Metrics)
 	}
 
 	if ready != nil {

@@ -18,6 +18,7 @@ import (
 
 	"cacheautomaton/internal/arch"
 	"cacheautomaton/internal/bitstream"
+	"cacheautomaton/internal/caformat"
 	"cacheautomaton/internal/mapper"
 	"cacheautomaton/internal/nfa"
 	"cacheautomaton/internal/telemetry"
@@ -36,43 +37,67 @@ func main() {
 	seed := flag.Int64("seed", 1, "partitioner seed")
 	caseIns := flag.Bool("i", false, "case-insensitive regex")
 	imageOut := flag.String("o", "", "write the configuration bitstream image to this file")
+	saveOut := flag.String("save", "", "serialize the mapped automaton as a CRC-guarded caformat container to this file")
+	loadIn := flag.String("load", "", "load a caformat container written by -save instead of compiling (-rules/-anml/-bench ignored)")
 	dotOut := flag.String("dot", "", "write the partition graph (Graphviz DOT) to this file")
 	traceCompile := flag.Bool("trace-compile", false, "print the compile-pipeline phase breakdown")
 	flag.Parse()
 
-	n, err := loadNFA(*rules, *anmlFile, *bench, *scale, *seed, *caseIns)
-	if err != nil {
-		fatal(err)
-	}
-	kind := arch.PerfOpt
-	if strings.HasPrefix(*design, "s") {
-		kind = arch.SpaceOpt
-	}
-	before := n.ComputeStats()
-	var tr *telemetry.Trace
-	if *traceCompile {
-		tr = telemetry.NewTrace("camap/" + kind.String())
-	}
-	pl, level, err := mapper.MapOptimized(n, mapper.Config{
-		Design:         arch.NewDesign(kind),
-		Seed:           *seed,
-		AllowChainedG4: kind == arch.SpaceOpt,
-		Trace:          tr,
-	})
-	if *traceCompile {
-		fmt.Print(tr.Report().String())
-	}
-	if err != nil {
-		fatal(err)
-	}
-	if kind == arch.SpaceOpt {
-		fmt.Printf("state merging:       %d → %d states (ladder level: %v)\n",
-			before.States, pl.NFA.NumStates(), level)
+	var (
+		pl   *mapper.Placement
+		kind arch.DesignKind
+	)
+	if *loadIn != "" {
+		f, err := os.Open(*loadIn)
+		if err != nil {
+			fatal(err)
+		}
+		pl, _, err = caformat.Decode(f)
+		cerr := f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		kind = pl.Design.Kind
+		fmt.Printf("loaded:              %s (verified)\n", *loadIn)
+	} else {
+		n, err := loadNFA(*rules, *anmlFile, *bench, *scale, *seed, *caseIns)
+		if err != nil {
+			fatal(err)
+		}
+		kind = arch.PerfOpt
+		if strings.HasPrefix(*design, "s") {
+			kind = arch.SpaceOpt
+		}
+		before := n.ComputeStats()
+		var tr *telemetry.Trace
+		if *traceCompile {
+			tr = telemetry.NewTrace("camap/" + kind.String())
+		}
+		var level mapper.OptimizeLevel
+		pl, level, err = mapper.MapOptimized(n, mapper.Config{
+			Design:         arch.NewDesign(kind),
+			Seed:           *seed,
+			AllowChainedG4: kind == arch.SpaceOpt,
+			Trace:          tr,
+		})
+		if *traceCompile {
+			fmt.Print(tr.Report().String())
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if kind == arch.SpaceOpt {
+			fmt.Printf("state merging:       %d → %d states (ladder level: %v)\n",
+				before.States, pl.NFA.NumStates(), level)
+		}
 	}
 	st := pl.ComputeStats()
 	nst := pl.NFA.ComputeStats()
 	fmt.Printf("design:              %v\n", kind)
-	fmt.Printf("states:              %d (input %d)\n", nst.States, before.States)
+	fmt.Printf("states:              %d\n", nst.States)
 	fmt.Printf("edges:               %d\n", nst.Edges)
 	fmt.Printf("connected components:%d (largest %d)\n", nst.ConnectedComponents, nst.LargestCC)
 	fmt.Printf("partitions:          %d (avg fill %.1f%%)\n", st.Partitions, st.AvgFill*100)
@@ -100,6 +125,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *imageOut)
+	}
+	if *saveOut != "" {
+		f, err := os.Create(*saveOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := caformat.Encode(f, pl, nil); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if fi, err := os.Stat(*saveOut); err == nil {
+			fmt.Printf("wrote %s (%d KB, caformat v%d)\n", *saveOut, fi.Size()/1024, caformat.Version)
+		}
 	}
 	if *dotOut != "" {
 		f, err := os.Create(*dotOut)

@@ -33,6 +33,8 @@ type Level struct {
 var Order = []Level{
 	{Class: "server.session.mu", Rank: 10,
 		Note: "per-session feed serialization; held across checkpoint + removal"},
+	{Class: "server.Server.reloadMu", Rank: 15,
+		Note: "serializes rule-set reloads; held across Compile, so above Server.mu and everything below it"},
 	{Class: "server.Server.mu", Rank: 20,
 		Note: "ruleset/session tables; only taken bare or under one session.mu"},
 	{Class: "server.TCPServer.mu", Rank: 30,
@@ -53,6 +55,8 @@ var Order = []Level{
 		Note: "match queue counter; leaf-only"},
 	{Class: "telemetry.Registry.mu", Rank: 85,
 		Note: "metric name table; leaf-only"},
+	{Class: "telemetry.Trace.mu", Rank: 83,
+		Note: "compile-trace phase list; locks each phase Span under it, and nests under Server.reloadMu since reload compiles inline"},
 	{Class: "faults.Injector.mu", Rank: 90,
 		Note: "unknown-point tracking inside faults.Check; innermost of all"},
 }

@@ -268,9 +268,10 @@ type Machine struct {
 	laneShift, laneSelf, laneOther uint64
 }
 
-// New builds a machine from a placement (which it verifies first).
+// New builds a machine from a placement (which it verifies first; the
+// check is memoized per placement, so growing a pool re-verifies nothing).
 func New(pl *mapper.Placement, opts Options) (*Machine, error) {
-	if err := pl.Verify(); err != nil {
+	if err := pl.VerifyOnce(); err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
 	m := &Machine{pl: pl, opts: opts}
@@ -278,13 +279,22 @@ func New(pl *mapper.Placement, opts Options) (*Machine, error) {
 	size := arch.PartitionSTEs
 	m.parts = make([]partition, len(pl.Partitions))
 	cross := make([][][]crossTarget, len(pl.Partitions))
+	// Slab the per-partition arrays: one large allocation per kind instead
+	// of five small ones per partition. Construction is on the cold-start
+	// path (pool misses, cached preload), where hundreds of separate 8 KB
+	// zeroed allocations dominate the build time.
+	rowSlab := make([][256][wordsPerPartition]uint64, len(pl.Partitions))
+	localSlab := make([][arch.PartitionSTEs][wordsPerPartition]uint64, len(pl.Partitions))
+	codeSlab := make([]int32, len(pl.Partitions)*size)
+	stateSlab := make([]nfa.StateID, len(pl.Partitions)*size)
+	crossSlab := make([][]crossTarget, len(pl.Partitions)*size)
 	for i := range m.parts {
 		p := &m.parts[i]
-		p.rows = new([256][wordsPerPartition]uint64)
-		p.localRows = new([arch.PartitionSTEs][wordsPerPartition]uint64)
-		p.code = make([]int32, size)
-		p.state = make([]nfa.StateID, size)
-		cross[i] = make([][]crossTarget, size)
+		p.rows = &rowSlab[i]
+		p.localRows = &localSlab[i]
+		p.code = codeSlab[i*size : (i+1)*size : (i+1)*size]
+		p.state = stateSlab[i*size : (i+1)*size : (i+1)*size]
+		cross[i] = crossSlab[i*size : (i+1)*size : (i+1)*size]
 	}
 	// Program SRAM rows, start/report masks, and local switches.
 	maxSlot := 0
@@ -298,8 +308,10 @@ func New(pl *mapper.Placement, opts Options) (*Machine, error) {
 		wi, bit := slot>>6, uint64(1)<<(slot&63)
 		p.state[slot] = nfa.StateID(s)
 		p.code[slot] = st.ReportCode
-		for _, sym := range st.Class.Symbols() {
-			p.rows[sym][wi] |= bit
+		for w4 := 0; w4 < 4; w4++ { // inline Class.Symbols: no per-state slice
+			for word := st.Class[w4]; word != 0; word &= word - 1 {
+				p.rows[w4<<6|bits.TrailingZeros64(word)][wi] |= bit
+			}
 		}
 		switch st.Start {
 		case nfa.AllInput:
@@ -339,9 +351,10 @@ func New(pl *mapper.Placement, opts Options) (*Machine, error) {
 			p.crossG4[ce.SrcSlot] = 2
 		}
 	}
+	startSlab := make([]int32, len(m.parts)*(size+1))
 	for i := range m.parts {
 		p := &m.parts[i]
-		p.crossStart = make([]int32, size+1)
+		p.crossStart = startSlab[i*(size+1) : (i+1)*(size+1) : (i+1)*(size+1)]
 		for slot, cts := range cross[i] {
 			p.crossStart[slot+1] = p.crossStart[slot] + int32(len(cts))
 			p.crossTargets = append(p.crossTargets, cts...)

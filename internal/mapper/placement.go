@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"cacheautomaton/internal/arch"
 	"cacheautomaton/internal/nfa"
@@ -104,6 +105,20 @@ type Placement struct {
 	// PartitionsPerWay is the way capacity (8 in CA_P — Array_L only; 16
 	// in CA_S).
 	PartitionsPerWay int
+
+	// verifyOnce memoizes Verify for VerifyOnce. A Placement is immutable
+	// once built, so one verification covers every machine built from it.
+	verifyOnce sync.Once
+	verifyErr  error
+}
+
+// VerifyOnce runs Verify at most once per Placement and returns the
+// memoized result on subsequent calls. Machine construction uses it so a
+// pool of N machines over one placement pays the full structural check
+// once instead of N times — the dominant cold-start cost after compile.
+func (p *Placement) VerifyOnce() error {
+	p.verifyOnce.Do(func() { p.verifyErr = p.Verify() })
+	return p.verifyErr
 }
 
 // NumPartitions returns the number of allocated partitions.

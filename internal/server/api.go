@@ -44,6 +44,15 @@ type RulesetInfo struct {
 	CompileMS  float64 `json:"compile_ms"`
 	// SignatureNames lists ClamAV signature names by pattern index.
 	SignatureNames []string `json:"signature_names,omitempty"`
+	// Version counts how many times this name has been (re)compiled:
+	// 1 on first compile, incremented by every replacing compile or
+	// reload. Sessions opened against an older version keep serving it
+	// until they close.
+	Version int `json:"version"`
+	// Cached reports whether this automaton was loaded from the compile
+	// cache instead of compiled from source (CompileMS is then the load
+	// time).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // MatchRequest is a one-shot scan of a self-contained input.

@@ -1,0 +1,502 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	ca "cacheautomaton"
+	"cacheautomaton/internal/telemetry"
+)
+
+// TestCompileCacheReplayCompilesOnce is the compile-counter proof of the
+// cache contract: a restart with both the compile cache and the WAL
+// attached replays every session without recompiling a valid cached rule
+// set — the second boot shows exactly one cache hit and zero misses, and
+// the resumed streams continue bit-identically (including a match
+// straddling the restart).
+func TestCompileCacheReplayCompilesOnce(t *testing.T) {
+	cacheDir := t.TempDir()
+	walDir := t.TempDir()
+	ctx := context.Background()
+
+	s1 := New(Config{Registry: telemetry.NewRegistry()})
+	if err := s1.AttachCache(cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.AttachWAL(walDir); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s1.Compile(ctx, "ids", CompileRequest{Patterns: []string{"needle", "ha+y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cached {
+		t.Fatal("first compile reported cached")
+	}
+	if h, m := s1.col.CacheHits.Value(), s1.col.CacheMisses.Value(); h != 0 || m != 1 {
+		t.Fatalf("cold compile: hits=%d misses=%d, want 0/1", h, m)
+	}
+	sess1, err := s1.OpenSession(ctx, OpenSessionRequest{Ruleset: "ids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := s1.OpenSession(ctx, OpenSessionRequest{Ruleset: "ids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave a match straddling the restart: "nee" now, "dle" after.
+	if _, err := s1.Feed(ctx, sess1.Session, FeedRequest{Chunk: "xx nee"}); err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	if err := s1.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	s2 := New(Config{Registry: telemetry.NewRegistry()})
+	if err := s2.AttachCache(cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s2.AttachWAL(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s2.Shutdown(sctx)
+	})
+	if st.Rulesets != 1 || st.Sessions != 2 || st.SkippedSessions != 0 {
+		t.Fatalf("replay stats = %+v, want 1 ruleset, 2 sessions", st)
+	}
+	// The acceptance criterion: replay loaded the cached automaton and
+	// never compiled from source.
+	if h, m, e := s2.col.CacheHits.Value(), s2.col.CacheMisses.Value(), s2.col.CacheErrors.Value(); h != 1 || m != 0 || e != 0 {
+		t.Fatalf("warm replay: hits=%d misses=%d errors=%d, want 1/0/0", h, m, e)
+	}
+	ri, err := s2.Ruleset("ids")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ri.Cached {
+		t.Fatalf("replayed ruleset not marked cached: %+v", ri)
+	}
+	fr, err := s2.Feed(ctx, sess1.Session, FeedRequest{Chunk: "dle yy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Matches) != 1 || fr.Matches[0].Offset != 8 || fr.Matches[0].Pattern != 0 {
+		t.Fatalf("straddling match after cached replay = %+v, want needle@8", fr.Matches)
+	}
+	if _, err := s2.Feed(ctx, sess2.Session, FeedRequest{Chunk: "haaay"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileCacheCorruptEntryFallsBack bit-flips the stored cache entry
+// and checks the next boot recompiles (ca_cache_errors_total counts the
+// eviction) instead of failing, and re-stores a good entry that the boot
+// after that loads.
+func TestCompileCacheCorruptEntryFallsBack(t *testing.T) {
+	cacheDir := t.TempDir()
+	ctx := context.Background()
+	req := CompileRequest{Patterns: []string{"needle"}}
+
+	boot := func() (*Server, *RulesetInfo) {
+		t.Helper()
+		s := New(Config{Registry: telemetry.NewRegistry()})
+		if err := s.AttachCache(cacheDir); err != nil {
+			t.Fatal(err)
+		}
+		info, err := s.Compile(ctx, "ids", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, info
+	}
+	shutdown := func(s *Server) {
+		t.Helper()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(sctx)
+	}
+
+	s1, info1 := boot()
+	if info1.Cached {
+		t.Fatal("first compile reported cached")
+	}
+	shutdown(s1)
+
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.caf"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v (err %v), want exactly 1", entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 3; i < len(data)/3+8 && i < len(data); i++ {
+		data[i] ^= 0x5a
+	}
+	if err := os.WriteFile(entries[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info2 := boot()
+	if info2.Cached {
+		t.Fatal("corrupted entry served as a cache hit")
+	}
+	if e := s2.col.CacheErrors.Value(); e < 1 {
+		t.Fatalf("cache errors = %d, want >= 1 after corrupted entry", e)
+	}
+	if h := s2.col.CacheHits.Value(); h != 0 {
+		t.Fatalf("cache hits = %d, want 0", h)
+	}
+	// The fallback compile still serves.
+	mr, err := s2.Match(ctx, MatchRequest{Ruleset: "ids", Input: "a needle"})
+	if err != nil || len(mr.Matches) != 1 {
+		t.Fatalf("match after fallback: %v %+v", err, mr)
+	}
+	shutdown(s2)
+
+	// The fallback re-stored the entry: the next boot is a clean hit.
+	s3, info3 := boot()
+	if !info3.Cached {
+		t.Fatal("re-stored entry not served as a cache hit")
+	}
+	if h, e := s3.col.CacheHits.Value(), s3.col.CacheErrors.Value(); h != 1 || e != 0 {
+		t.Fatalf("third boot: hits=%d errors=%d, want 1/0", h, e)
+	}
+	shutdown(s3)
+}
+
+// doAuth posts body (marshaled, nil for an empty body) with a bearer
+// token and decodes the response into out, returning the status code.
+func doAuth(t *testing.T, url, token string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest("POST", url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: bad response %q: %v", url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestReloadAuth covers the authenticated reload endpoint: 401 without or
+// with a wrong bearer token, 200 with the right one; an empty body
+// rebuilds the stored definition and bumps the version; a body replaces
+// the definition; unknown names 404 instead of being created.
+func TestReloadAuth(t *testing.T) {
+	_, ts := testServer(t, Config{AdminToken: "sekrit"})
+	compileRules(t, ts, "ids", "aaa")
+	url := ts.URL + "/rulesets/ids/reload"
+
+	if code := doAuth(t, url, "", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("reload without token: status %d, want 401", code)
+	}
+	if code := doAuth(t, url, "wrong", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("reload with wrong token: status %d, want 401", code)
+	}
+	var info RulesetInfo
+	if code := doAuth(t, url, "sekrit", nil, &info); code != http.StatusOK {
+		t.Fatalf("reload with token: status %d, want 200", code)
+	}
+	if info.Version != 2 || info.Patterns != 1 {
+		t.Fatalf("empty-body reload info = %+v, want version 2 rebuilt from the stored definition", info)
+	}
+	var resp MatchResponse
+	if code := doJSON(t, "POST", ts.URL+"/match", MatchRequest{Ruleset: "ids", Input: "aaa"}, &resp); code != 200 || len(resp.Matches) != 1 {
+		t.Fatalf("match after empty-body reload: %d %+v", code, resp)
+	}
+
+	if code := doAuth(t, url, "sekrit", CompileRequest{Patterns: []string{"bbb"}}, &info); code != http.StatusOK {
+		t.Fatalf("reload with body: status %d", code)
+	}
+	if info.Version != 3 {
+		t.Fatalf("replacing reload version = %d, want 3", info.Version)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/match", MatchRequest{Ruleset: "ids", Input: "bbb"}, &resp); code != 200 || len(resp.Matches) != 1 {
+		t.Fatalf("match after replacing reload: %d %+v", code, resp)
+	}
+
+	if code := doAuth(t, ts.URL+"/rulesets/nosuch/reload", "sekrit", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("reload of unknown name: status %d, want 404", code)
+	}
+}
+
+// TestReloadAtomicSwapSessionsKeepVersion pins the swap semantics:
+// sessions opened before a reload keep the automaton they were admitted
+// to until they close, while new sessions and one-shot matches after the
+// swap serve the new version.
+func TestReloadAtomicSwapSessionsKeepVersion(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	ctx := context.Background()
+	if _, err := s.Compile(ctx, "ids", CompileRequest{Patterns: []string{"aaa"}}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := s.OpenSession(ctx, OpenSessionRequest{Ruleset: "ids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Reload(ctx, "ids", &CompileRequest{Patterns: []string{"bbb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("reload version = %d, want 2", info.Version)
+	}
+	// The v1 session still matches v1's patterns and nothing else.
+	fr, err := s.Feed(ctx, old.Session, FeedRequest{Chunk: "aaa bbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Matches) != 1 || fr.Matches[0].Offset != 2 {
+		t.Fatalf("v1 session matches = %+v, want only aaa@2", fr.Matches)
+	}
+	// A session opened after the swap serves v2.
+	fresh, err := s.OpenSession(ctx, OpenSessionRequest{Ruleset: "ids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err = s.Feed(ctx, fresh.Session, FeedRequest{Chunk: "aaa bbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Matches) != 1 || fr.Matches[0].Offset != 6 {
+		t.Fatalf("v2 session matches = %+v, want only bbb@6", fr.Matches)
+	}
+	// One-shot matches after the swap serve v2 too.
+	mr, err := s.Match(ctx, MatchRequest{Ruleset: "ids", Input: "aaa bbb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Matches) != 1 || mr.Matches[0].Offset != 6 {
+		t.Fatalf("one-shot matches after swap = %+v, want only bbb@6", mr.Matches)
+	}
+	if err := s.CloseSession(ctx, old.Session); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseSession(ctx, fresh.Session); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotReloadUnderLoad hammers one rule set with 64 concurrent clients
+// (half one-shot matches, half streaming sessions) while a reloader swaps
+// it ~20 times between two pattern sets. Every response must be exactly
+// one version's complete match set — nothing dropped, nothing mixed —
+// a session's feeds must stay on its admission version for its whole
+// life, and after the dust settles every machine lease across every
+// version's pools has been returned (Gets == Puts).
+func TestHotReloadUnderLoad(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, _ := testServer(t, Config{
+		Registry:     reg,
+		MatchWorkers: 8,
+		QueueDepth:   1024,
+		QueueWait:    10 * time.Second,
+		MaxSessions:  256,
+	})
+	ctx := context.Background()
+	reqA := CompileRequest{Patterns: []string{"aaa"}}
+	reqB := CompileRequest{Patterns: []string{"aaa", "bbb"}}
+	// The trailing space keeps repeated feeds of the same chunk from
+	// matching across chunk boundaries (streams are continuous), so every
+	// chunk's expected set is exactly one version's offsets.
+	const input = "xx aaa bbb "
+	// Per-version expected offset sets for one scan of input at base 0.
+	wantA := []int64{5}
+	wantB := []int64{5, 9}
+
+	if _, err := s.Compile(ctx, "ids", reqA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture every version's automaton so the final lease audit sees the
+	// pools of replaced rule sets too (the map swap drops them).
+	var autMu sync.Mutex
+	seen := make(map[*ca.Automaton]bool)
+	var automatons []*ca.Automaton
+	capture := func() {
+		s.mu.RLock()
+		a := s.rulesets["ids"].a
+		s.mu.RUnlock()
+		autMu.Lock()
+		if !seen[a] {
+			seen[a] = true
+			automatons = append(automatons, a)
+		}
+		autMu.Unlock()
+	}
+	capture()
+
+	// offsetsOK reports whether got is exactly one version's match set for
+	// a scan of input starting at absolute position base.
+	offsetsOK := func(got []WireMatch, base int64) bool {
+		offs := make([]int64, len(got))
+		for i, m := range got {
+			offs[i] = m.Offset - base
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		eq := func(want []int64) bool {
+			if len(offs) != len(want) {
+				return false
+			}
+			for i := range want {
+				if offs[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		return eq(wantA) || eq(wantB)
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, 128)
+	report := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	var wg sync.WaitGroup
+	const clients = 64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if c%2 == 0 {
+					mr, err := s.Match(ctx, MatchRequest{Ruleset: "ids", Input: input})
+					if err != nil {
+						report("client %d match: %v", c, err)
+						return
+					}
+					if !offsetsOK(mr.Matches, 0) {
+						report("client %d match set %+v matches neither version", c, mr.Matches)
+						return
+					}
+				} else {
+					si, err := s.OpenSession(ctx, OpenSessionRequest{Ruleset: "ids"})
+					if err != nil {
+						report("client %d open: %v", c, err)
+						return
+					}
+					// All feeds of one session must serve its admission
+					// version: same per-chunk match count throughout.
+					firstLen := -1
+					base := int64(0)
+					for f := 0; f < 3; f++ {
+						fr, err := s.Feed(ctx, si.Session, FeedRequest{Chunk: input})
+						if err != nil {
+							report("client %d feed: %v", c, err)
+							return
+						}
+						if !offsetsOK(fr.Matches, base) {
+							report("client %d feed set %+v (base %d) matches neither version", c, fr.Matches, base)
+							return
+						}
+						if firstLen == -1 {
+							firstLen = len(fr.Matches)
+						} else if len(fr.Matches) != firstLen {
+							report("client %d session drifted versions mid-life: feed %d had %d matches, first had %d",
+								c, f, len(fr.Matches), firstLen)
+							return
+						}
+						base += int64(len(input))
+					}
+					if err := s.CloseSession(ctx, si.Session); err != nil {
+						report("client %d close: %v", c, err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	const reloads = 20
+	for i := 0; i < reloads; i++ {
+		req := reqA
+		if i%2 == 0 {
+			req = reqB
+		}
+		if _, err := s.Reload(ctx, "ids", &req); err != nil {
+			t.Errorf("reload %d: %v", i, err)
+			break
+		}
+		capture()
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	if v := s.col.Reloads.Value(); v != reloads {
+		t.Fatalf("reloads counter = %d, want %d", v, reloads)
+	}
+	ri, err := s.Ruleset("ids")
+	if err != nil || ri.Version != reloads+1 {
+		t.Fatalf("final version = %+v (err %v), want %d", ri, err, reloads+1)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	var gets, puts int64
+	for _, a := range automatons {
+		st := a.LeaseStats()
+		gets += st.Gets
+		puts += st.Puts
+	}
+	if gets != puts || gets == 0 {
+		t.Fatalf("lease audit across %d versions: Gets=%d Puts=%d", len(automatons), gets, puts)
+	}
+}

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"cacheautomaton/internal/faults"
@@ -16,6 +19,9 @@ import (
 // Handler returns the HTTP/JSON API:
 //
 //	PUT    /rulesets/{name}       compile a named rule set
+//	POST   /rulesets/{name}/reload atomically swap a rule set (admin;
+//	                              empty body recompiles the stored
+//	                              definition; HTTP-only, not on TCP)
 //	GET    /rulesets              list rule sets
 //	GET    /rulesets/{name}       describe one rule set
 //	DELETE /rulesets/{name}       unload a rule set
@@ -38,6 +44,18 @@ func (s *Server) Handler() http.Handler {
 		}
 		s.reply(w, r, "rulesets.compile", func(ctx context.Context) (any, error) {
 			return s.Compile(ctx, r.PathValue("name"), req)
+		})
+	})
+	mux.HandleFunc("POST /rulesets/{name}/reload", func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorize(w, r) {
+			return
+		}
+		req, err := s.decodeOptional(w, r)
+		if err != nil {
+			return
+		}
+		s.reply(w, r, "rulesets.reload", func(ctx context.Context) (any, error) {
+			return s.Reload(ctx, r.PathValue("name"), req)
 		})
 	})
 	mux.HandleFunc("GET /rulesets", func(w http.ResponseWriter, r *http.Request) {
@@ -141,6 +159,55 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error 
 		return err
 	}
 	return nil
+}
+
+// authorize gates the admin endpoints on Config.AdminToken: empty token
+// leaves them open (the API's default trust model); otherwise the request
+// must carry "Authorization: Bearer <token>", compared in constant time.
+// A rejected request is a structured 401 counted like any other error.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.AdminToken == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if ok && subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.AdminToken)) == 1 {
+		return true
+	}
+	s.col.Requests.Inc()
+	s.col.RequestErrors.Inc()
+	writeError(w, errf(http.StatusUnauthorized, "missing or invalid admin token"))
+	return false
+}
+
+// decodeOptional reads an optional JSON request body: a missing or blank
+// body returns (nil, nil), anything else must parse as a CompileRequest.
+func (s *Server) decodeOptional(w http.ResponseWriter, r *http.Request) (*CompileRequest, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			err = errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			err = errf(http.StatusBadRequest, "read body: %v", err)
+		}
+		s.col.Requests.Inc()
+		s.col.RequestErrors.Inc()
+		writeError(w, err)
+		return nil, err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, nil
+	}
+	var req CompileRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		s.col.Requests.Inc()
+		s.col.RequestErrors.Inc()
+		err = errf(http.StatusBadRequest, "bad JSON request: %v", err)
+		writeError(w, err)
+		return nil, err
+	}
+	return &req, nil
 }
 
 // reply runs one core operation with request metrics, panic isolation,

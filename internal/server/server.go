@@ -16,10 +16,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/base64"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	ca "cacheautomaton"
+	"cacheautomaton/internal/caformat"
 	"cacheautomaton/internal/faults"
 	"cacheautomaton/internal/telemetry"
 )
@@ -88,6 +91,10 @@ type Config struct {
 	// larger than this bypasses the batcher, and a batch whose total
 	// payload reaches it flushes immediately (default 256 KiB).
 	BatchBytes int64
+	// AdminToken guards the mutating admin endpoints (today: rule-set
+	// reload). Empty leaves them open — matching the trust model of the
+	// rest of the API; set, they require "Authorization: Bearer <token>".
+	AdminToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +147,9 @@ type ruleset struct {
 	info RulesetInfo
 	a    *ca.Automaton
 	b    *batcher
+	// req is the compile request that produced this rule set, kept so
+	// Reload with an empty body can rebuild from the stored definition.
+	req CompileRequest
 }
 
 // session is one streaming session. The mutex serializes feeds (the
@@ -178,6 +188,19 @@ type Server struct {
 	// wal, when non-nil, is the session write-ahead log (AttachWAL).
 	// Set once before serving; guarded by mu for the attach itself.
 	wal *wal
+	// cache, when non-nil, is the content-addressed compile cache
+	// (AttachCache). Set once before serving; guarded by mu for the
+	// attach itself. Compile consults it before recompiling, so WAL
+	// replay of N sessions on one rule set loads the automaton instead
+	// of paying the compile again.
+	cache *caformat.Cache
+
+	// reloadMu serializes rule-set reloads so concurrent reloads of the
+	// same name can't interleave compile-then-swap and publish a stale
+	// version. It ranks above every other lock (see the cavet lockorder
+	// table): Reload acquires it before delegating to Compile, which
+	// takes Server.mu and the WAL lock.
+	reloadMu sync.Mutex
 
 	// ready is the readiness signal behind /readyz: the daemon flips it
 	// false at drain start, before any listener closes, so load
@@ -380,6 +403,43 @@ func (s *Server) AttachWAL(dir string) (*ReplayStats, error) {
 	return st, nil
 }
 
+// AttachCache opens (creating if needed) the content-addressed compile
+// cache in dir and wires it into Compile: every compile first looks up
+// hash(rules, front-end, compile options) and loads the serialized
+// automaton on a hit; misses compile and store the encoding for the next
+// start. Attach it before AttachWAL so WAL replay's recompiles hit the
+// cache. Corrupted entries are evicted and recompiled (counted by
+// ca_cache_errors_total), never a failed boot.
+func (s *Server) AttachCache(dir string) error {
+	c, err := caformat.NewCache(dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil {
+		return fmt.Errorf("cache: already attached")
+	}
+	s.cache = c
+	return nil
+}
+
+// cacheKey derives the content address of a compile request: the rule
+// text, front-end and every compile-shaping option, length-prefixed and
+// format-version-bound inside caformat.NewKey. The rule-set *name* is
+// deliberately excluded — two names over identical rules share one entry.
+func cacheKey(format string, req *CompileRequest) caformat.Key {
+	parts := []string{
+		format,
+		req.Design,
+		fmt.Sprintf("ci=%t dot=%t rep=%d seed=%d", req.CaseInsensitive, req.DotExcludesNewline, req.MaxRepeat, req.Seed),
+		strconv.Itoa(len(req.Patterns)),
+	}
+	parts = append(parts, req.Patterns...)
+	parts = append(parts, req.Text)
+	return caformat.NewKey(parts...)
+}
+
 // resumeFromWAL restores one checkpointed session, preserving its id so
 // clients reconnect to the session they were feeding before the crash.
 func (s *Server) resumeFromWAL(rec *walRecord) bool {
@@ -546,43 +606,91 @@ func (s *Server) Compile(ctx context.Context, name string, req CompileRequest) (
 	if format == "" {
 		format = "regex"
 	}
-	var (
-		a        *ca.Automaton
-		patterns int
-		names    []string
-	)
-	start := time.Now()
+	// Validate inputs before consulting the cache so malformed requests
+	// fail identically with and without a cache attached.
 	switch format {
 	case "regex":
 		if len(req.Patterns) == 0 {
 			return nil, errf(http.StatusBadRequest, "regex format needs patterns")
 		}
-		a, err = ca.CompileRegex(req.Patterns, opts)
-		patterns = len(req.Patterns)
-	case "anml":
+	case "anml", "snort", "clamav":
 		if req.Text == "" {
-			return nil, errf(http.StatusBadRequest, "anml format needs text")
+			return nil, errf(http.StatusBadRequest, "%s format needs text", format)
 		}
-		a, err = ca.CompileANML(strings.NewReader(req.Text), opts)
-	case "snort":
-		if req.Text == "" {
-			return nil, errf(http.StatusBadRequest, "snort format needs text")
-		}
-		a, err = ca.CompileSnortRules(req.Text, opts)
-	case "clamav":
-		if req.Text == "" {
-			return nil, errf(http.StatusBadRequest, "clamav format needs text")
-		}
-		a, names, err = ca.CompileClamAVDatabase(req.Text, opts)
-		patterns = len(names)
 	default:
 		return nil, errf(http.StatusBadRequest, "unknown format %q (want regex, anml, snort or clamav)", format)
 	}
-	if err != nil {
-		return nil, errf(http.StatusUnprocessableEntity, "compile: %v", err)
+	s.mu.RLock()
+	cache := s.cache
+	s.mu.RUnlock()
+
+	var (
+		a      *ca.Automaton
+		names  []string
+		cached bool
+		key    caformat.Key
+	)
+	start := time.Now()
+	if cache != nil {
+		key = cacheKey(format, &req)
+		if data, cerr := cache.Get(key); cerr == nil {
+			la, lerr := ca.Load(bytes.NewReader(data), ca.Options{})
+			if lerr == nil {
+				a, cached = la, true
+				names = a.SignatureNames()
+				s.col.CacheHits.Inc()
+			} else {
+				// A corrupted entry falls back to a full compile (which
+				// re-stores it), never a failed boot or request.
+				s.col.CacheErrors.Inc()
+				rmErr := cache.Remove(key)
+				s.log.WarnContext(ctx, "compile cache: corrupted entry evicted",
+					"ruleset", name, "key", key.String(), "error", lerr, "remove_error", rmErr)
+			}
+		} else if !errors.Is(cerr, os.ErrNotExist) {
+			s.col.CacheErrors.Inc()
+			s.log.WarnContext(ctx, "compile cache: read failed", "ruleset", name, "key", key.String(), "error", cerr)
+		}
+		if !cached {
+			s.col.CacheMisses.Inc()
+		}
+	}
+	if a == nil {
+		switch format {
+		case "regex":
+			a, err = ca.CompileRegex(req.Patterns, opts)
+		case "anml":
+			a, err = ca.CompileANML(strings.NewReader(req.Text), opts)
+		case "snort":
+			a, err = ca.CompileSnortRules(req.Text, opts)
+		case "clamav":
+			a, names, err = ca.CompileClamAVDatabase(req.Text, opts)
+		}
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "compile: %v", err)
+		}
+		if cache != nil {
+			var buf bytes.Buffer
+			serr := a.Save(&buf)
+			if serr == nil {
+				serr = cache.Put(key, buf.Bytes())
+			}
+			if serr != nil {
+				s.col.CacheErrors.Inc()
+				s.log.WarnContext(ctx, "compile cache: store failed", "ruleset", name, "key", key.String(), "error", serr)
+			}
+		}
+	}
+	patterns := 0
+	switch format {
+	case "regex":
+		patterns = len(req.Patterns)
+	case "clamav":
+		patterns = len(names)
 	}
 	rs := &ruleset{
-		a: a,
+		a:   a,
+		req: req,
 		info: RulesetInfo{
 			Name:           name,
 			Format:         format,
@@ -592,12 +700,23 @@ func (s *Server) Compile(ctx context.Context, name string, req CompileRequest) (
 			CacheMB:        a.CacheUsageMB(),
 			CompileMS:      float64(time.Since(start).Microseconds()) / 1000,
 			SignatureNames: names,
+			Cached:         cached,
 		},
 	}
 	if s.cfg.BatchWindow > 0 {
 		rs.b = &batcher{s: s, rs: rs}
 	}
+	// The swap is the atomicity point of both compile and reload: one map
+	// store under Server.mu publishes the new rule set. In-flight requests
+	// that already resolved the old *ruleset finish on the old automaton;
+	// every later lookup — new matches, sessions, batched flushes — gets
+	// the new one; sessions opened against the old version hold its
+	// Automaton pointer and keep it until close.
 	s.mu.Lock()
+	rs.info.Version = 1
+	if old := s.rulesets[name]; old != nil {
+		rs.info.Version = old.info.Version + 1
+	}
 	s.rulesets[name] = rs
 	s.col.Rulesets.Set(int64(len(s.rulesets)))
 	s.mu.Unlock()
@@ -605,9 +724,43 @@ func (s *Server) Compile(ctx context.Context, name string, req CompileRequest) (
 	s.walAppend(rt, walRecord{Kind: "compile", Name: name, Req: &reqCopy})
 	s.log.InfoContext(ctx, "ruleset compiled",
 		"ruleset", name, "format", format, "states", rs.info.States,
-		"partitions", rs.info.Partitions, "compile_ms", rs.info.CompileMS)
+		"partitions", rs.info.Partitions, "compile_ms", rs.info.CompileMS,
+		"cached", cached, "version", rs.info.Version)
 	info := rs.info
 	return &info, nil
+}
+
+// Reload atomically swaps the named rule set under live traffic. A nil
+// req recompiles (or cache-loads) the stored definition — the common
+// "pick up a cache/config change" case; a non-nil req replaces the
+// definition, like Compile, but 404s instead of creating a new name.
+// reloadMu serializes reloads so two concurrent reloads of one name
+// cannot publish versions out of order; the swap itself is Compile's
+// single map store under Server.mu, so readers never observe a partial
+// state: in-flight leases finish on the old automaton, everything after
+// the swap gets the new one.
+func (s *Server) Reload(ctx context.Context, name string, req *CompileRequest) (*RulesetInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if req == nil {
+		rs, err := s.ruleset(name)
+		if err != nil {
+			return nil, err
+		}
+		r := rs.req
+		req = &r
+	} else {
+		if _, err := s.ruleset(name); err != nil {
+			return nil, err
+		}
+	}
+	info, err := s.Compile(ctx, name, *req)
+	if err != nil {
+		return nil, err
+	}
+	s.col.Reloads.Inc()
+	s.log.InfoContext(ctx, "ruleset reloaded", "ruleset", name, "version", info.Version)
+	return info, nil
 }
 
 // Ruleset returns one rule set's description.

@@ -67,6 +67,15 @@ type ServerCollector struct {
 	// SlowRequests counts requests at or above the slow threshold that
 	// the flight recorder pinned.
 	SlowRequests *Counter
+	// CacheHits / CacheMisses count compile-cache lookups that loaded a
+	// serialized automaton vs fell through to a full compile; CacheErrors
+	// counts corrupted or unwritable cache entries (each one falls back
+	// to recompiling, never a failed boot).
+	CacheHits   *Counter
+	CacheMisses *Counter
+	CacheErrors *Counter
+	// Reloads counts atomic rule-set swaps through the reload endpoint.
+	Reloads *Counter
 }
 
 // NewServerCollector registers the serving metrics (names prefixed
@@ -103,5 +112,9 @@ func NewServerCollector(reg *Registry) *ServerCollector {
 		StageSeconds:      reg.HistogramVec("ca_server_stage_seconds", "serving latency by pipeline stage", "stage", latencyBuckets),
 		RulesetSeconds:    reg.HistogramVec("ca_server_ruleset_seconds", "end-to-end request latency by rule set", "ruleset", latencyBuckets),
 		SlowRequests:      reg.Counter("ca_server_slow_requests_total", "requests at or above the slow threshold"),
+		CacheHits:         reg.Counter("ca_cache_hits_total", "compile-cache lookups served from a serialized automaton"),
+		CacheMisses:       reg.Counter("ca_cache_misses_total", "compile-cache lookups that fell through to a full compile"),
+		CacheErrors:       reg.Counter("ca_cache_errors_total", "corrupted or unwritable compile-cache entries (recovered by recompiling)"),
+		Reloads:           reg.Counter("ca_server_reloads_total", "atomic rule-set swaps through the reload endpoint"),
 	}
 }
