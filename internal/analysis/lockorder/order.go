@@ -31,6 +31,10 @@ type Level struct {
 // private internals and must never be held across a call that acquires
 // a lower-ranked lock.
 var Order = []Level{
+	{Class: "cluster.csession.mu", Rank: 6,
+		Note: "per-cluster-session feed/failover serialization; held across node RPCs that resolve membership under Router.mu"},
+	{Class: "cluster.Router.mu", Rank: 8,
+		Note: "membership/ring/placement tables; taken bare or under one csession.mu — the reconciler snapshots session pointers before locking them"},
 	{Class: "server.session.mu", Rank: 10,
 		Note: "per-session feed serialization; held across checkpoint + removal"},
 	{Class: "server.Server.reloadMu", Rank: 15,

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cacheautomaton/internal/faults"
+	"cacheautomaton/internal/server"
+	"cacheautomaton/internal/telemetry"
+)
+
+// TestClusterChaosDrill is the cluster's end-to-end fault drill: 64
+// concurrent streaming clients drive a 3-node cluster through the full
+// failure menu — one node SIGKILLed mid-stream, a second partitioned
+// from the router (collapsing the view to a minority), the partition
+// healed, and the killed node rejoined under its old identity — and
+// every client's match stream must come out exactly equal to a
+// fault-free oracle: zero lost matches, zero duplicated matches, zero
+// lost sessions, positions advancing without gaps. The books are then
+// reconciled against the scraped ca_cluster_* metrics and the router's
+// flight recorder.
+func TestClusterChaosDrill(t *testing.T) {
+	const (
+		nClients = 64
+		nChunks  = 18
+	)
+	tc := startCluster(t, 3, fastConfig(nil))
+	tc.waitTable("all alive", func(tab Table) bool {
+		return tc.nodeState(tab, "n1") == stateAlive && tc.nodeState(tab, "n2") == stateAlive && tc.nodeState(tab, "n3") == stateAlive
+	})
+	if code, _ := tc.do(http.MethodPut, "/rulesets/chaos", testRules, nil); code != http.StatusOK {
+		t.Fatalf("compile: %d", code)
+	}
+	tc.waitTable("replicated", func(tab Table) bool { return len(tab.Rulesets["chaos"].Holders) == 2 })
+
+	// The oracle: a fault-free single node fed the same 64 streams.
+	oracle := server.New(nodeConfig())
+	defer oracle.Shutdown(context.Background())
+	if _, err := oracle.Compile(context.Background(), "chaos", testRules); err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]server.WireMatch, nClients)
+	for c := 0; c < nClients; c++ {
+		info, err := oracle.OpenSession(context.Background(), server.OpenSessionRequest{Ruleset: "chaos"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < nChunks; j++ {
+			resp, err := oracle.Feed(context.Background(), info.Session, server.FeedRequest{Chunk: chaosChunk(c, j)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[c] = append(want[c], resp.Matches...)
+		}
+	}
+
+	// 64 clients stream through the router while chaos runs. Feeds
+	// retry on 503 (the shed/no-quorum signal); anything else is fatal.
+	var shed atomic.Int64
+	got := make([][]server.WireMatch, nClients)
+	errs := make([]error, nClients)
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var sess server.SessionInfo
+			if code, err := tc.try(http.MethodPost, "/sessions", server.OpenSessionRequest{Ruleset: "chaos"}, &sess); err != nil || code != http.StatusOK {
+				errs[c] = fmt.Errorf("open: code %d err %v", code, err)
+				return
+			}
+			pos := int64(0)
+			for j := 0; j < nChunks; j++ {
+				chunk := chaosChunk(c, j)
+				var fr server.FeedResponse
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					code, err := tc.try(http.MethodPost, "/sessions/"+sess.Session+"/feed", server.FeedRequest{Chunk: chunk}, &fr)
+					if err == nil && code == http.StatusOK {
+						break
+					}
+					if err == nil && code == http.StatusServiceUnavailable && time.Now().Before(deadline) {
+						shed.Add(1)
+						time.Sleep(25 * time.Millisecond)
+						continue
+					}
+					errs[c] = fmt.Errorf("feed chunk %d: code %d err %v", j, code, err)
+					return
+				}
+				pos += int64(len(chunk))
+				if fr.Pos != pos {
+					errs[c] = fmt.Errorf("chunk %d: pos %d, want %d (lost or duplicated bytes across failover)", j, fr.Pos, pos)
+					return
+				}
+				got[c] = append(got[c], fr.Matches...)
+			}
+		}(c)
+	}
+
+	// The chaos schedule, concurrent with the client load.
+	killAndPartition := func() error {
+		time.Sleep(150 * time.Millisecond) // let streams establish
+
+		// 1. SIGKILL n2 mid-stream: no drain, connections die.
+		tc.nodes["n2"].Kill()
+		if err := waitCond(10*time.Second, func() bool {
+			var tab Table
+			code, _ := tc.try(http.MethodGet, "/cluster", nil, &tab)
+			return code == http.StatusOK && tc.nodeState(tab, "n2") == stateDead
+		}); err != nil {
+			return fmt.Errorf("n2 never declared dead: %w", err)
+		}
+		time.Sleep(100 * time.Millisecond) // failovers drain onto n1/n3
+
+		// 2. Partition n3 from the router: with n2 dead the router now
+		// sees a minority and must shed placement changes.
+		faults.Enable(faults.NewInjector(42, map[string]faults.Rule{
+			faultRPCPrefix + "n3": {Rate: 1},
+		}))
+		if err := waitCond(10*time.Second, func() bool {
+			var tab Table
+			code, _ := tc.try(http.MethodGet, "/cluster", nil, &tab)
+			return code == http.StatusOK && !tab.Quorum
+		}); err != nil {
+			faults.Disable()
+			return fmt.Errorf("minority view never formed: %w", err)
+		}
+		// Minority semantics under load: placement changes are refused
+		// with a shed 503, while reads against the still-reachable
+		// holder (n1, reconciled onto it when n2 died) keep serving.
+		if code, err := tc.try(http.MethodPut, "/rulesets/minority", server.CompileRequest{Patterns: []string{"mm"}}, nil); err != nil || code != http.StatusServiceUnavailable {
+			return fmt.Errorf("compile in minority partition: code %d err %v, want 503", code, err)
+		}
+		if err := waitCond(2*time.Second, func() bool {
+			var mr server.MatchResponse
+			code, err := tc.try(http.MethodPost, "/match", server.MatchRequest{Ruleset: "chaos", Input: "abbc"}, &mr)
+			return err == nil && code == http.StatusOK && len(mr.Matches) == 1
+		}); err != nil {
+			return fmt.Errorf("reads did not serve in the minority partition: %w", err)
+		}
+		time.Sleep(150 * time.Millisecond) // hold the partition under load
+
+		// 3. Heal the partition.
+		faults.Disable()
+		if err := waitCond(10*time.Second, func() bool {
+			var tab Table
+			code, _ := tc.try(http.MethodGet, "/cluster", nil, &tab)
+			return code == http.StatusOK && tab.Quorum && tc.nodeState(tab, "n3") == stateAlive
+		}); err != nil {
+			return fmt.Errorf("partition never healed: %w", err)
+		}
+
+		// 4. Rejoin n2 under its old identity (fresh process, empty
+		// state): its ring arcs return and the reconciler re-ships the
+		// rule set and migrates sessions home.
+		node, err := StartLocalNode("n2", nodeConfig())
+		if err != nil {
+			return err
+		}
+		tc.nodes["n2"] = node
+		if err := tc.router.AddNode(context.Background(), "n2", node.URL); err != nil {
+			return fmt.Errorf("rejoin: %w", err)
+		}
+		return waitCond(10*time.Second, func() bool {
+			var tab Table
+			code, _ := tc.try(http.MethodGet, "/cluster", nil, &tab)
+			return code == http.StatusOK && tc.nodeState(tab, "n2") == stateAlive
+		})
+	}
+	chaosErr := make(chan error, 1)
+	go func() { chaosErr <- killAndPartition() }()
+
+	wg.Wait()
+	if err := <-chaosErr; err != nil {
+		t.Fatalf("chaos schedule: %v", err)
+	}
+
+	// Exactly-once verification: every client's stream equals the
+	// oracle byte for byte — across one kill, one partition, one heal
+	// and one rejoin.
+	totalMatches := 0
+	for c := 0; c < nClients; c++ {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		if len(got[c]) != len(want[c]) {
+			t.Fatalf("client %d delivered %d matches, oracle says %d (lost or duplicated across failover)", c, len(got[c]), len(want[c]))
+		}
+		for i := range got[c] {
+			if got[c][i] != want[c][i] {
+				t.Fatalf("client %d match %d = %+v, oracle %+v (resume not bit-identical)", c, i, got[c][i], want[c][i])
+			}
+		}
+		totalMatches += len(got[c])
+	}
+	if totalMatches == 0 {
+		t.Fatal("drill produced no matches at all; inputs are not exercising the automaton")
+	}
+
+	// Zero lost sessions: all 64 still tracked and feedable.
+	if sessions := tc.router.Sessions(); len(sessions) != nClients {
+		t.Fatalf("%d sessions tracked after the drill, want %d", len(sessions), nClients)
+	}
+
+	// Reconcile the books against the scraped ca_cluster_* metrics.
+	failovers := readCounter(t, tc.reg, "ca_cluster_failovers_total")
+	checkpoints := readCounter(t, tc.reg, "ca_cluster_checkpoints_shipped_total")
+	artifacts := readCounter(t, tc.reg, "ca_cluster_artifacts_shipped_total")
+	hbFail := readCounter(t, tc.reg, "ca_cluster_heartbeat_failures_total")
+	refused := readCounter(t, tc.reg, "ca_cluster_placements_refused_total")
+	handoffs := readCounter(t, tc.reg, "ca_cluster_handoffs_total")
+	if failovers < 1 {
+		t.Errorf("ca_cluster_failovers_total = %d, want >= 1 (n2 was killed holding sessions)", failovers)
+	}
+	if checkpoints < int64(nClients) {
+		t.Errorf("ca_cluster_checkpoints_shipped_total = %d, want >= %d (every acked feed ships one)", checkpoints, nClients)
+	}
+	if artifacts < 1 {
+		t.Errorf("ca_cluster_artifacts_shipped_total = %d, want >= 1", artifacts)
+	}
+	if hbFail < 1 {
+		t.Errorf("ca_cluster_heartbeat_failures_total = %d, want >= 1", hbFail)
+	}
+	if refused < 1 {
+		t.Errorf("ca_cluster_placements_refused_total = %d, want >= 1 (a compile was attempted in the minority window)", refused)
+	}
+
+	// The router's flight recorder kept the story: feed traces exist,
+	// and the chaos window pinned at least one non-ok trace.
+	snap := tc.router.Traces().Snapshot()
+	sawFeedTrace := false
+	for _, rep := range append(append([]*telemetry.ReqReport{}, snap.Recent...), snap.Pinned...) {
+		if rep.Op == "cluster.sessions.feed" {
+			sawFeedTrace = true
+			break
+		}
+	}
+	if !sawFeedTrace {
+		t.Error("no cluster.sessions.feed trace in the router's flight recorder")
+	}
+	if len(snap.Pinned) == 0 {
+		t.Error("no pinned traces after a drill full of failed and shed requests")
+	}
+	t.Logf("drill: %d matches exact across %d clients; failovers=%d handoffs=%d checkpoints=%d artifacts=%d hb_failures=%d refused=%d shed_responses=%d traces=%d recent/%d pinned",
+		totalMatches, nClients, failovers, handoffs, checkpoints, artifacts, hbFail, refused, shed.Load(), len(snap.Recent), len(snap.Pinned))
+}
+
+// waitCond polls cond until it holds or the budget expires.
+func waitCond(budget time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(budget)
+	for {
+		if cond() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not reached within %v", budget)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+// chaosChunk deterministically generates client c's j-th input chunk.
+// The alphabet is biased toward the drill rule set's patterns so every
+// stream produces matches, including across chunk boundaries.
+func chaosChunk(c, j int) string {
+	const alphabet = "abcfo0123 xzzabbc"
+	h := uint64(c+1)*0x9e3779b97f4a7c15 ^ uint64(j+1)*0xbf58476d1ce4e5b9
+	b := make([]byte, 120)
+	for i := range b {
+		h = mix64(h + uint64(i))
+		b[i] = alphabet[h%uint64(len(alphabet))]
+	}
+	return string(b)
+}
+
+// try is the goroutine-safe request helper: it reports errors instead
+// of failing the test, so client goroutines can use it.
+func (tc *testCluster) try(method, path string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, tc.front.URL+path, body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := tc.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %q: %w", data, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"net/http"
+
+	"cacheautomaton/internal/server"
+)
+
+// LocalNode is one in-process cad node behind a real loopback listener
+// — the unit of the cluster test harness and of `cad -cluster-demo`
+// style local topologies. Each node is a full server.Server with its
+// own WAL, compile cache and telemetry registry, reachable only over
+// HTTP, so the router exercises the same wire paths it would against
+// separate processes.
+type LocalNode struct {
+	ID  string
+	URL string
+	Srv *server.Server
+
+	lis     net.Listener
+	httpSrv *http.Server
+}
+
+// StartLocalNode builds a server from cfg and serves it on an ephemeral
+// loopback port.
+func StartLocalNode(id string, cfg server.Config) (*LocalNode, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(cfg)
+	n := &LocalNode{
+		ID:      id,
+		URL:     "http://" + lis.Addr().String(),
+		Srv:     srv,
+		lis:     lis,
+		httpSrv: &http.Server{Handler: srv.Handler()},
+	}
+	go func() { _ = n.httpSrv.Serve(lis) }()
+	return n, nil
+}
+
+// Kill is the SIGKILL analog: the listener and every connection close
+// immediately with no drain — in-flight requests die mid-response, and
+// the node's in-memory state is abandoned exactly as a killed process
+// would abandon it. (A rejoin starts a fresh LocalNode; recovery state
+// comes from the router's shipped checkpoints and artifacts, or the
+// node's own WAL when the replacement shares its WAL path.) The stray
+// background goroutines of the abandoned server are reaped with an
+// already-expired drain so the in-process harness does not leak them.
+func (n *LocalNode) Kill() {
+	_ = n.httpSrv.Close()
+	go func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = n.Srv.Shutdown(ctx)
+	}()
+}
+
+// Stop is the graceful path: stop accepting, drain the server, then
+// close remaining connections.
+func (n *LocalNode) Stop(ctx context.Context) error {
+	err := n.Srv.Shutdown(ctx)
+	if herr := n.httpSrv.Shutdown(ctx); err == nil {
+		err = herr
+	}
+	return err
+}

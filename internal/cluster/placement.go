@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sort"
+
+	"cacheautomaton/internal/server"
+)
+
+// Compile places a rule set on the cluster: the primary (the key's
+// first alive ring owner) compiles it, then the compiled-automaton
+// artifact is shipped to the replica owners, which install it without
+// recompiling. A placement change requires quorum.
+func (r *Router) Compile(ctx context.Context, name string, req server.CompileRequest) (*server.RulesetInfo, error) {
+	r.mu.RLock()
+	draining, quorum := r.draining, r.quorumLocked()
+	r.mu.RUnlock()
+	if draining {
+		return nil, errStatus(http.StatusServiceUnavailable, "router is draining")
+	}
+	if !quorum {
+		r.col.PlacementsRefused.Inc()
+		return nil, errRetryAfter("no quorum: refusing placement change")
+	}
+	targets := r.placementTargets(name)
+	if len(targets) == 0 {
+		return nil, errRetryAfter("no alive node to place rule set %q", name)
+	}
+	primary := targets[0]
+	info, err := r.nodeCompile(ctx, primary, name, req)
+	if err != nil {
+		return nil, err
+	}
+	art, err := r.nodeArtifact(ctx, primary, name)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	pr := r.rulesets[name]
+	if pr == nil {
+		pr = &placedRuleset{name: name, holders: make(map[string]int)}
+		r.rulesets[name] = pr
+	}
+	pr.gen++
+	gen := pr.gen
+	pr.req = req
+	pr.info = *info
+	pr.holders = map[string]int{primary: gen}
+	r.ringVersion++
+	r.col.RingVersion.Set(int64(r.ringVersion))
+	r.mu.Unlock()
+
+	for _, node := range targets[1:] {
+		if _, ierr := r.nodeInstall(ctx, node, art); ierr != nil {
+			// The reconciler retries; the placement is already serving on
+			// the primary.
+			r.log.WarnContext(ctx, "replica install failed", "ruleset", name, "node", node, "error", ierr)
+			continue
+		}
+		r.col.ArtifactsShipped.Inc()
+		r.mu.Lock()
+		if cur := r.rulesets[name]; cur == pr && pr.gen == gen {
+			pr.holders[node] = gen
+		}
+		r.mu.Unlock()
+	}
+	r.kickReconcile()
+	return info, nil
+}
+
+// placementTargets returns the first Replicas alive ring owners for a
+// rule set.
+func (r *Router) placementTargets(name string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var targets []string
+	for _, node := range r.ring.Owners("rs/"+name, r.ring.Len()) {
+		if m := r.members[node]; m != nil && m.state == stateAlive {
+			targets = append(targets, node)
+			if len(targets) == r.cfg.Replicas {
+				break
+			}
+		}
+	}
+	return targets
+}
+
+// ensureRuleset makes node hold the current generation of name: it
+// ships the artifact from an up-to-date alive holder, or — when every
+// holder is gone (the all-replicas-died case) — falls back to
+// recompiling from the stored definition on the target itself.
+func (r *Router) ensureRuleset(ctx context.Context, node, name string) error {
+	r.mu.RLock()
+	pr := r.rulesets[name]
+	if pr == nil {
+		r.mu.RUnlock()
+		return errStatus(http.StatusNotFound, "rule set %q is not placed", name)
+	}
+	gen := pr.gen
+	req := pr.req
+	if pr.holders[node] == gen {
+		r.mu.RUnlock()
+		return nil
+	}
+	var source string
+	for holder, v := range pr.holders {
+		if holder == node || v != gen {
+			continue
+		}
+		if m := r.members[holder]; m != nil && m.state == stateAlive {
+			source = holder
+			break
+		}
+	}
+	r.mu.RUnlock()
+
+	if source != "" {
+		art, err := r.nodeArtifact(ctx, source, name)
+		if err == nil {
+			if _, err = r.nodeInstall(ctx, node, art); err == nil {
+				r.col.ArtifactsShipped.Inc()
+				r.recordHolder(name, node, gen)
+				return nil
+			}
+		}
+		r.log.WarnContext(ctx, "artifact ship failed, falling back to recompile", "ruleset", name, "from", source, "to", node, "error", err)
+	}
+	if _, err := r.nodeCompile(ctx, node, name, req); err != nil {
+		return err
+	}
+	r.recordHolder(name, node, gen)
+	return nil
+}
+
+func (r *Router) recordHolder(name, node string, gen int) {
+	r.mu.Lock()
+	if pr := r.rulesets[name]; pr != nil && pr.gen == gen {
+		pr.holders[node] = gen
+	}
+	r.mu.Unlock()
+}
+
+// DeleteRuleset unplaces a rule set: quorum-gated fan-out delete to
+// every holder, then the placement record is dropped.
+func (r *Router) DeleteRuleset(ctx context.Context, name string) error {
+	r.mu.Lock()
+	pr := r.rulesets[name]
+	if pr == nil {
+		r.mu.Unlock()
+		return errStatus(http.StatusNotFound, "no rule set %q", name)
+	}
+	if !r.quorumLocked() {
+		r.col.PlacementsRefused.Inc()
+		r.mu.Unlock()
+		return errRetryAfter("no quorum: refusing placement change")
+	}
+	holders := make([]string, 0, len(pr.holders))
+	for node := range pr.holders {
+		holders = append(holders, node)
+	}
+	delete(r.rulesets, name)
+	r.ringVersion++
+	r.col.RingVersion.Set(int64(r.ringVersion))
+	r.mu.Unlock()
+
+	for _, node := range holders {
+		if err := r.nodeDelete(ctx, node, name); err != nil {
+			if st, ok := statusOfRPC(err); ok && st == http.StatusNotFound {
+				continue
+			}
+			r.log.WarnContext(ctx, "delete fan-out failed", "ruleset", name, "node", node, "error", err)
+		}
+	}
+	return nil
+}
+
+// Rulesets lists the cluster's placed rule sets (the placement
+// primary's compile info), sorted by name.
+func (r *Router) Rulesets() []server.RulesetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]server.RulesetInfo, 0, len(r.rulesets))
+	for _, pr := range r.rulesets {
+		out = append(out, pr.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Ruleset describes one placed rule set.
+func (r *Router) Ruleset(name string) (*server.RulesetInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pr := r.rulesets[name]
+	if pr == nil {
+		return nil, errStatus(http.StatusNotFound, "no rule set %q", name)
+	}
+	info := pr.info
+	return &info, nil
+}

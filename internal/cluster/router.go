@@ -1,0 +1,712 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cacheautomaton/internal/retry"
+	"cacheautomaton/internal/server"
+	"cacheautomaton/internal/telemetry"
+)
+
+// Config tunes a Router. The zero value serves with sensible defaults.
+type Config struct {
+	// Replicas is how many nodes hold each rule set (default 2; clamped
+	// to the member count at placement time). The primary compiles, the
+	// rest install the shipped caformat artifact and never recompile.
+	Replicas int
+	// VirtualNodes is the consistent-hash ring's virtual-node count per
+	// member (default 64).
+	VirtualNodes int
+	// HeartbeatInterval paces the health checker (default 250ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter and DeadAfter are the missed-heartbeat thresholds
+	// for the alive → suspect → dead transitions (defaults 2 and 4).
+	SuspectAfter int
+	DeadAfter    int
+	// HedgeDelay is how long a one-shot /match waits on the primary
+	// before also asking a replica (default 30ms; negative disables
+	// hedging).
+	HedgeDelay time.Duration
+	// RPC is the inter-node call policy: jittered exponential backoff
+	// with per-attempt timeouts (defaults: 3 attempts, 25ms base,
+	// 250ms cap, 2s per attempt). Non-idempotent calls (feeds) always
+	// run single-attempt regardless; their recovery is the checkpoint
+	// failover path.
+	RPC retry.Policy
+	// Client issues the router's HTTP calls (default: a dedicated
+	// client with connection pooling). Tests substitute transports to
+	// simulate partitions.
+	Client *http.Client
+	// Registry receives ca_cluster_* metrics (nil uses telemetry.Default()).
+	Registry *telemetry.Registry
+	// Logger receives structured routing logs (nil discards them).
+	Logger *slog.Logger
+	// SlowRequest and TraceRingSize configure the router's own flight
+	// recorder, mirroring server.Config (negative TraceRingSize
+	// disables tracing).
+	SlowRequest   time.Duration
+	TraceRingSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 30 * time.Millisecond
+	}
+	if c.RPC.MaxAttempts == 0 {
+		c.RPC.MaxAttempts = 3
+	}
+	if c.RPC.BaseDelay == 0 {
+		c.RPC.BaseDelay = 25 * time.Millisecond
+	}
+	if c.RPC.MaxDelay == 0 {
+		c.RPC.MaxDelay = 250 * time.Millisecond
+	}
+	if c.RPC.AttemptTimeout == 0 {
+		c.RPC.AttemptTimeout = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = 250 * time.Millisecond
+	}
+	if c.TraceRingSize == 0 {
+		c.TraceRingSize = telemetry.DefaultTraceRingSize
+	}
+	return c
+}
+
+// Member health states.
+const (
+	stateAlive    = "alive"
+	stateSuspect  = "suspect"
+	stateDead     = "dead"
+	stateNotReady = "notready" // responding, but 503 (draining or warming)
+)
+
+// member is one node's membership record, guarded by Router.mu.
+type member struct {
+	id     string
+	url    string
+	state  string
+	misses int
+	detail server.ReadyDetail
+}
+
+// responsive reports whether the member answers probes at all — the
+// quorum signal. A notready member is responsive (its process is up,
+// it is draining or warming), a suspect or dead one is not.
+func (m *member) responsive() bool { return m.state == stateAlive || m.state == stateNotReady }
+
+// placedRuleset is one rule set's cluster placement record: the
+// definition (for compile fallback when every artifact holder is
+// gone), the primary's info, and which nodes hold which version.
+type placedRuleset struct {
+	name string
+	req  server.CompileRequest
+	info server.RulesetInfo
+	// gen is the cluster placement generation: 1 on first placement,
+	// incremented by every replacing compile through the router.
+	gen     int
+	holders map[string]int // node id → installed generation
+}
+
+// csession is one cluster session: a stable client-facing id mapped to
+// the node-local session currently serving it, plus the last shipped
+// checkpoint that makes failover resume exact.
+//
+// Lock order: csession.mu may be held while taking Router.mu (feeds
+// resolve membership under it), so nothing may take csession.mu while
+// holding Router.mu — snapshot session pointers under Router.mu first,
+// release it, then lock each session (the same discipline as
+// server.session.mu vs server.Server.mu).
+type csession struct {
+	id      string
+	ruleset string
+
+	mu      sync.Mutex
+	node    string // current owner node id
+	localID string // node-local session id on node
+	pos     int64
+	// checkpoint is the post-feed state snapshot of the last
+	// acknowledged feed (base64). Empty with pos 0 means "fresh
+	// stream"; stale means the invariant broke (a feed was acked
+	// without a fresh snapshot) and exact failover is impossible.
+	checkpoint string
+	stale      bool
+	closed     bool
+}
+
+// Router is the cluster front-end: it owns membership, the placement
+// ring, the rule-set and session tables, and proxies client traffic to
+// nodes with retries, hedging and failover.
+type Router struct {
+	cfg    Config
+	col    *telemetry.ClusterCollector
+	log    *slog.Logger
+	client *http.Client
+	traces *telemetry.TraceRing
+
+	mu          sync.RWMutex
+	members     map[string]*member
+	ring        *Ring
+	ringVersion uint64
+	rulesets    map[string]*placedRuleset
+	sessions    map[string]*csession
+	nextID      uint64
+	draining    bool
+
+	stopHB chan struct{}
+	hbDone chan struct{}
+	// kick wakes the reconciler outside its heartbeat cadence
+	// (buffered: a pending kick coalesces with the next).
+	kick chan struct{}
+}
+
+// NewRouter builds a Router and starts its health checker. Add nodes
+// with AddNode, then serve Handler.
+func NewRouter(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:      cfg,
+		col:      telemetry.NewClusterCollector(cfg.Registry),
+		log:      cfg.Logger,
+		client:   cfg.Client,
+		members:  make(map[string]*member),
+		ring:     NewRing(cfg.VirtualNodes),
+		rulesets: make(map[string]*placedRuleset),
+		sessions: make(map[string]*csession),
+		stopHB:   make(chan struct{}),
+		hbDone:   make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+	}
+	if cfg.TraceRingSize > 0 {
+		slow := cfg.SlowRequest
+		if slow < 0 {
+			slow = 0
+		}
+		r.traces = telemetry.NewTraceRing(cfg.TraceRingSize, slow)
+	}
+	go r.healthLoop()
+	return r
+}
+
+// Traces exposes the router's flight recorder (nil when disabled).
+func (r *Router) Traces() *telemetry.TraceRing { return r.traces }
+
+// AddNode registers (or re-registers) a node. A known id updates the
+// URL — the rejoin path after a kill: the restarted process keeps its
+// ring position, so placement barely moves. The node is probed once
+// immediately; unreachable nodes are admitted as suspect and picked up
+// by the health checker when they come up. Joins are placement changes
+// and are refused without quorum.
+func (r *Router) AddNode(ctx context.Context, id, url string) error {
+	if id == "" || url == "" {
+		return errStatus(http.StatusBadRequest, "node id and url are required")
+	}
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return errStatus(http.StatusServiceUnavailable, "router is draining")
+	}
+	if len(r.members) > 0 && !r.quorumLocked() {
+		r.col.PlacementsRefused.Inc()
+		r.mu.Unlock()
+		return errStatus(http.StatusServiceUnavailable, "no quorum: refusing membership change")
+	}
+	m, rejoin := r.members[id]
+	if !rejoin {
+		m = &member{id: id, url: url, state: stateSuspect}
+		r.members[id] = m
+		r.ring.Add(id)
+	} else {
+		m.url = url
+	}
+	r.ringVersion++
+	r.col.RingVersion.Set(int64(r.ringVersion))
+	r.updateMemberGauges()
+	r.mu.Unlock()
+
+	// Probe outside the lock; the health loop owns state from here on.
+	detail, err := r.probe(ctx, id, url)
+	r.mu.Lock()
+	if m := r.members[id]; m != nil && m.url == url {
+		if err == nil {
+			r.transition(m, stateAlive, detail)
+		}
+	}
+	r.updateMemberGauges()
+	r.mu.Unlock()
+	r.kickReconcile()
+	r.log.InfoContext(ctx, "cluster node registered", "node", id, "url", url, "rejoin", rejoin, "probe_ok", err == nil)
+	return nil
+}
+
+// RemoveNode deletes a member and its ring arcs. Its sessions fail
+// over to successors from their last shipped checkpoints on the next
+// reconcile round. Refused without quorum.
+func (r *Router) RemoveNode(id string) error {
+	r.mu.Lock()
+	if _, ok := r.members[id]; !ok {
+		r.mu.Unlock()
+		return errStatus(http.StatusNotFound, "no node %q", id)
+	}
+	if !r.quorumLocked() {
+		r.col.PlacementsRefused.Inc()
+		r.mu.Unlock()
+		return errStatus(http.StatusServiceUnavailable, "no quorum: refusing membership change")
+	}
+	delete(r.members, id)
+	r.ring.Remove(id)
+	for _, pr := range r.rulesets {
+		delete(pr.holders, id)
+	}
+	r.ringVersion++
+	r.col.RingVersion.Set(int64(r.ringVersion))
+	r.updateMemberGauges()
+	r.mu.Unlock()
+	r.kickReconcile()
+	r.log.Info("cluster node removed", "node", id)
+	return nil
+}
+
+// Shutdown stops the health checker and flips the router to draining:
+// every subsequent client call is refused with 503. Nodes are not
+// touched — they are independent processes with their own drains.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	already := r.draining
+	r.draining = true
+	r.mu.Unlock()
+	if !already {
+		close(r.stopHB)
+	}
+	select {
+	case <-r.hbDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// quorumLocked reports whether the router currently sees a majority of
+// its members (caller holds mu). In a minority partition the router
+// keeps serving reads against reachable replicas but refuses placement
+// changes — compiles, deletes, joins and session moves — so a healed
+// partition cannot discover two divergent placements.
+func (r *Router) quorumLocked() bool {
+	if len(r.members) == 0 {
+		return true
+	}
+	responsive := 0
+	for _, m := range r.members {
+		if m.responsive() {
+			responsive++
+		}
+	}
+	return responsive > len(r.members)/2
+}
+
+// Quorum reports the router's current majority view.
+func (r *Router) Quorum() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.quorumLocked()
+}
+
+// transition applies a member state change (caller holds mu).
+func (r *Router) transition(m *member, next string, detail server.ReadyDetail) {
+	if next == stateAlive || next == stateNotReady {
+		m.misses = 0
+		m.detail = detail
+	}
+	if m.state == next {
+		return
+	}
+	prev := m.state
+	m.state = next
+	r.ringVersion++
+	r.col.RingVersion.Set(int64(r.ringVersion))
+	r.log.Info("cluster member state", "node", m.id, "from", prev, "to", next)
+	if prev == stateDead && (next == stateAlive || next == stateNotReady) {
+		// A dead process that answers again restarted empty (kill) or
+		// was partitioned (its state survived). Either way, dropping it
+		// from every holder set and re-shipping is correct — installs
+		// are idempotent swaps — so rejoin always reconverges.
+		for _, pr := range r.rulesets {
+			delete(pr.holders, m.id)
+		}
+	}
+}
+
+func (r *Router) updateMemberGauges() {
+	var alive, suspect, dead int64
+	for _, m := range r.members {
+		switch m.state {
+		case stateAlive, stateNotReady:
+			alive++
+		case stateSuspect:
+			suspect++
+		case stateDead:
+			dead++
+		}
+	}
+	r.col.Nodes.Set(int64(len(r.members)))
+	r.col.NodesAlive.Set(alive)
+	r.col.NodesSuspect.Set(suspect)
+	r.col.NodesDead.Set(dead)
+}
+
+// healthLoop is the heartbeat + reconcile driver: every interval it
+// probes each member's /readyz, advances alive → suspect → dead on
+// misses, and runs a reconcile round whenever membership changed (or a
+// kick arrived from AddNode/failover).
+func (r *Router) healthLoop() {
+	defer close(r.hbDone)
+	t := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopHB:
+			return
+		case <-r.kick:
+			r.reconcile()
+		case <-t.C:
+			if r.heartbeatRound() {
+				r.reconcile()
+			}
+		}
+	}
+}
+
+// heartbeatRound probes every member once and reports whether any
+// state transition happened.
+func (r *Router) heartbeatRound() bool {
+	r.mu.RLock()
+	type probeTarget struct{ id, url, state string }
+	targets := make([]probeTarget, 0, len(r.members))
+	for _, m := range r.members {
+		targets = append(targets, probeTarget{m.id, m.url, m.state})
+	}
+	r.mu.RUnlock()
+	// A probe's budget is the RPC attempt timeout, not the heartbeat
+	// cadence: a loaded-but-healthy node must not be declared suspect
+	// just because one response took longer than the interval. Dead
+	// nodes still fail fast (connection refused / injected partition).
+	timeout := r.cfg.RPC.AttemptTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	changed := false
+	for _, tgt := range targets {
+		r.col.Heartbeats.Inc()
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		detail, err := r.probe(ctx, tgt.id, tgt.url)
+		cancel()
+		r.mu.Lock()
+		m := r.members[tgt.id]
+		if m == nil || m.url != tgt.url {
+			r.mu.Unlock()
+			continue
+		}
+		prev := m.state
+		switch {
+		case err == nil && detail.Ready:
+			r.transition(m, stateAlive, detail)
+		case err == nil:
+			// Responding but 503: draining or not yet ready. Responsive
+			// for quorum, not a placement target, never "dead".
+			r.transition(m, stateNotReady, detail)
+		default:
+			r.col.HeartbeatFailures.Inc()
+			m.misses++
+			switch {
+			case m.misses >= r.cfg.DeadAfter:
+				r.transition(m, stateDead, server.ReadyDetail{})
+			case m.misses >= r.cfg.SuspectAfter:
+				r.transition(m, stateSuspect, server.ReadyDetail{})
+			}
+		}
+		if m.state != prev {
+			changed = true
+		}
+		r.updateMemberGauges()
+		r.mu.Unlock()
+	}
+	return changed
+}
+
+// probe fetches one node's /readyz detail. It goes through the same
+// injection seam as every other inter-node call, so a chaos partition
+// of a node starves its heartbeats exactly like its RPCs.
+func (r *Router) probe(ctx context.Context, id, url string) (server.ReadyDetail, error) {
+	var detail server.ReadyDetail
+	err := r.rpcOnce(ctx, id, url, http.MethodGet, "/readyz", nil, &detail)
+	if err == nil {
+		return detail, nil
+	}
+	// A structured 503 is still an answer: the process is up. Transport
+	// errors (and injected partition faults) are the only misses.
+	if st, ok := statusOfRPC(err); ok && st == http.StatusServiceUnavailable {
+		return detail, nil
+	}
+	return detail, err
+}
+
+// kickReconcile wakes the reconciler without waiting out a heartbeat.
+func (r *Router) kickReconcile() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// reconcile is one repair round: every placed rule set is re-shipped
+// to the alive nodes its ring arc assigns, sessions stranded on
+// non-alive nodes fail over to successors from their last shipped
+// checkpoints, and sessions whose preferred (rejoined) owner differs
+// from their current one migrate back via planned hand-off.
+func (r *Router) reconcile() {
+	r.mu.RLock()
+	if r.draining {
+		r.mu.RUnlock()
+		return
+	}
+	quorum := r.quorumLocked()
+	type shipJob struct {
+		name    string
+		targets []string
+	}
+	var ships []shipJob
+	for name := range r.rulesets {
+		missing := r.missingTargetsLocked(name)
+		if len(missing) > 0 {
+			ships = append(ships, shipJob{name, missing})
+		}
+	}
+	sessions := make([]*csession, 0, len(r.sessions))
+	for _, cs := range r.sessions {
+		sessions = append(sessions, cs)
+	}
+	r.mu.RUnlock()
+
+	if !quorum {
+		// Minority partition: no placement changes, no session moves.
+		return
+	}
+	work := false
+	for _, job := range ships {
+		for _, node := range job.targets {
+			if err := r.ensureRuleset(context.Background(), node, job.name); err != nil {
+				r.log.Warn("reconcile: ship failed", "ruleset", job.name, "node", node, "error", err)
+			} else {
+				work = true
+			}
+		}
+	}
+	for _, cs := range sessions {
+		cs.mu.Lock()
+		if cs.closed {
+			cs.mu.Unlock()
+			continue
+		}
+		owner := cs.node
+		preferred := r.preferredNode("sess/" + cs.id)
+		switch {
+		case preferred == "":
+			// No alive node at all; feeds will shed until one returns.
+		case !r.nodeAlive(owner):
+			if err := r.failoverLocked(context.Background(), cs, owner); err != nil {
+				r.log.Warn("reconcile: failover failed", "session", cs.id, "from", owner, "error", err)
+			} else {
+				work = true
+			}
+		case preferred != owner:
+			if err := r.migrateLocked(context.Background(), cs, preferred); err != nil {
+				r.log.Warn("reconcile: migration failed", "session", cs.id, "from", owner, "to", preferred, "error", err)
+			} else {
+				work = true
+			}
+		}
+		cs.mu.Unlock()
+	}
+	if work {
+		r.col.Rebalances.Inc()
+	}
+}
+
+// missingTargetsLocked lists the alive nodes that should hold name (its
+// first Replicas alive ring owners) but don't yet (caller holds mu).
+func (r *Router) missingTargetsLocked(name string) []string {
+	pr := r.rulesets[name]
+	if pr == nil {
+		return nil
+	}
+	var missing []string
+	placed := 0
+	for _, node := range r.ring.Owners("rs/"+name, r.ring.Len()) {
+		if placed == r.cfg.Replicas {
+			break
+		}
+		m := r.members[node]
+		if m == nil || m.state != stateAlive {
+			continue
+		}
+		placed++
+		if pr.holders[node] != pr.gen {
+			missing = append(missing, node)
+		}
+	}
+	return missing
+}
+
+// preferredNode returns the first alive ring owner for key ("" when no
+// member is alive).
+func (r *Router) preferredNode(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, node := range r.ring.Owners(key, r.ring.Len()) {
+		if m := r.members[node]; m != nil && m.state == stateAlive {
+			return node
+		}
+	}
+	return ""
+}
+
+// aliveCandidates returns the alive members in ring-affinity order for
+// key, excluding the given node id.
+func (r *Router) aliveCandidates(key, exclude string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, node := range r.ring.Owners(key, r.ring.Len()) {
+		if node == exclude {
+			continue
+		}
+		if m := r.members[node]; m != nil && m.state == stateAlive {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+func (r *Router) nodeAlive(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := r.members[id]
+	return m != nil && m.state == stateAlive
+}
+
+func (r *Router) memberURL(id string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := r.members[id]
+	if m == nil {
+		return "", errStatus(http.StatusServiceUnavailable, "node %q left the cluster", id)
+	}
+	return m.url, nil
+}
+
+// Table is the routing table served at /cluster: clients that want to
+// skip the proxy hop fetch it, route matches to any holder of their
+// rule set, and re-fetch when their cached version goes stale.
+type Table struct {
+	Version  uint64            `json:"version"`
+	Replicas int               `json:"replicas"`
+	Quorum   bool              `json:"quorum"`
+	Nodes    []TableNode       `json:"nodes"`
+	Rulesets map[string]TableRuleset `json:"rulesets,omitempty"`
+	Sessions int               `json:"sessions"`
+}
+
+// TableNode is one member's routing entry.
+type TableNode struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// Rulesets is the node's per-ruleset readiness detail from its last
+	// heartbeat (compiling / reloading / cached / ready).
+	Rulesets map[string]string `json:"rulesets,omitempty"`
+}
+
+// TableRuleset is one rule set's placement entry.
+type TableRuleset struct {
+	Version int      `json:"version"`
+	Holders []string `json:"holders"`
+}
+
+// ClusterTable snapshots the routing table.
+func (r *Router) ClusterTable() Table {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t := Table{
+		Version:  r.ringVersion,
+		Replicas: r.cfg.Replicas,
+		Quorum:   r.quorumLocked(),
+		Sessions: len(r.sessions),
+	}
+	for _, m := range r.members {
+		t.Nodes = append(t.Nodes, TableNode{ID: m.id, URL: m.url, State: m.state, Rulesets: m.detail.Rulesets})
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i].ID < t.Nodes[j].ID })
+	if len(r.rulesets) > 0 {
+		t.Rulesets = make(map[string]TableRuleset, len(r.rulesets))
+		for name, pr := range r.rulesets {
+			holders := make([]string, 0, len(pr.holders))
+			for node := range pr.holders {
+				holders = append(holders, node)
+			}
+			sort.Strings(holders)
+			t.Rulesets[name] = TableRuleset{Version: pr.gen, Holders: holders}
+		}
+	}
+	return t
+}
+
+// errStatus builds a status-carrying error (the cluster analog of the
+// server package's structured API errors).
+func errStatus(status int, format string, args ...any) error {
+	return &clusterError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// errRetryAfter is the overload/no-quorum shed: a 503 whose transport
+// rendering carries a Retry-After header, telling well-behaved clients
+// to back off instead of hammering a degraded cluster.
+func errRetryAfter(format string, args ...any) error {
+	return &clusterError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf(format, args...), retryAfter: 1}
+}
+
+type clusterError struct {
+	status     int
+	msg        string
+	retryAfter int // seconds; > 0 emits a Retry-After response header
+	cause      error
+}
+
+func (e *clusterError) Error() string { return e.msg }
+func (e *clusterError) Unwrap() error { return e.cause }

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cacheautomaton/internal/faults"
+	"cacheautomaton/internal/server"
+	"cacheautomaton/internal/telemetry"
+)
+
+// Fault injection seams of the cluster layer. "cluster.rpc" gates every
+// inter-node call; "cluster.rpc.<nodeID>" gates calls to one node —
+// enabling a rate-1 error rule on it partitions that node from the
+// router (heartbeats included), which is how the chaos harness cuts
+// links without touching the network stack.
+const (
+	faultRPC       = "cluster.rpc"
+	faultRPCPrefix = "cluster.rpc."
+)
+
+// rpc issues one inter-node call under the router's retry policy
+// (jittered exponential backoff, per-attempt timeouts). The node's URL
+// re-resolves on every attempt so a rejoin mid-retry lands on the new
+// address. Use only for idempotent calls — feeds go through rpcOnce and
+// recover via checkpoint failover instead.
+func (r *Router) rpc(ctx context.Context, nodeID, method, path string, in, out any) error {
+	policy := r.cfg.RPC
+	if policy.RetryIf == nil {
+		policy.RetryIf = retryableRPC
+	}
+	start := time.Now()
+	attempts, err := policy.Attempts(ctx, func(actx context.Context) error {
+		url, uerr := r.memberURL(nodeID)
+		if uerr != nil {
+			return uerr
+		}
+		return r.rpcOnce(actx, nodeID, url, method, path, in, out)
+	})
+	r.col.RPCs.Inc()
+	if attempts > 1 {
+		r.col.RPCRetries.Add(int64(attempts - 1))
+	}
+	r.col.RPCSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		r.col.RPCErrors.Inc()
+	}
+	return err
+}
+
+// rpcOnce is one attempt: fault seams, trace propagation, JSON in/out,
+// structured errors back out. It never retries.
+func (r *Router) rpcOnce(ctx context.Context, nodeID, url, method, path string, in, out any) error {
+	if err := faults.Check(faultRPC); err != nil {
+		return err
+	}
+	if err := faults.Check(faultRPCPrefix + nodeID); err != nil {
+		return err
+	}
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("encode %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := telemetry.ReqTraceFrom(ctx).ID(); id != "" {
+		req.Header.Set("X-CA-Trace-Id", id)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return fmt.Errorf("read %s %s from %s: %w", method, path, nodeID, err)
+	}
+	if resp.StatusCode >= 300 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		msg := http.StatusText(resp.StatusCode)
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &clusterError{status: resp.StatusCode, msg: fmt.Sprintf("%s: %s %s: %s", nodeID, method, path, msg)}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("decode %s %s from %s: %w", method, path, nodeID, err)
+		}
+	}
+	return nil
+}
+
+// retryableRPC classifies inter-node errors: transport failures and
+// injected partition faults retry, server-side 5xx/429 retry (the node
+// may be shedding), any other structured status is terminal.
+func retryableRPC(err error) bool {
+	if st, ok := statusOfRPC(err); ok {
+		return st >= 500 || st == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// statusOfRPC extracts the HTTP status a node answered with (false for
+// transport-level failures that never got a structured response).
+func statusOfRPC(err error) (int, bool) {
+	var ce *clusterError
+	if errors.As(err, &ce) {
+		return ce.status, true
+	}
+	return 0, false
+}
+
+// Typed node calls. Each is a thin wrapper naming the endpoint and
+// wire types so call sites read as intent, not paths.
+
+func (r *Router) nodeCompile(ctx context.Context, node, name string, req server.CompileRequest) (*server.RulesetInfo, error) {
+	var info server.RulesetInfo
+	if err := r.rpc(ctx, node, http.MethodPut, "/rulesets/"+name, req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func (r *Router) nodeArtifact(ctx context.Context, node, name string) (*server.Artifact, error) {
+	var art server.Artifact
+	if err := r.rpc(ctx, node, http.MethodGet, "/rulesets/"+name+"/artifact", nil, &art); err != nil {
+		return nil, err
+	}
+	return &art, nil
+}
+
+func (r *Router) nodeInstall(ctx context.Context, node string, art *server.Artifact) (*server.RulesetInfo, error) {
+	var info server.RulesetInfo
+	if err := r.rpc(ctx, node, http.MethodPut, "/rulesets/"+art.Name+"/artifact", art, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func (r *Router) nodeDelete(ctx context.Context, node, name string) error {
+	return r.rpc(ctx, node, http.MethodDelete, "/rulesets/"+name, nil, nil)
+}
+
+func (r *Router) nodeMatch(ctx context.Context, node string, req server.MatchRequest) (*server.MatchResponse, error) {
+	var resp server.MatchResponse
+	if err := r.rpc(ctx, node, http.MethodPost, "/match", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (r *Router) nodeOpen(ctx context.Context, node string, req server.OpenSessionRequest) (*server.SessionInfo, error) {
+	var info server.SessionInfo
+	if err := r.rpc(ctx, node, http.MethodPost, "/sessions", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// nodeFeed is deliberately single-attempt: a feed mutates stream state,
+// so a retry after an ambiguous failure could scan the chunk twice and
+// duplicate its matches. Recovery is the checkpoint failover path —
+// resume from the last acked post-feed snapshot and replay the one
+// failed chunk exactly once.
+func (r *Router) nodeFeed(ctx context.Context, node, localID string, req server.FeedRequest) (*server.FeedResponse, error) {
+	url, err := r.memberURL(node)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.RPC.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.RPC.AttemptTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	var resp server.FeedResponse
+	ferr := r.rpcOnce(ctx, node, url, http.MethodPost, "/sessions/"+localID+"/feed", req, &resp)
+	r.col.RPCs.Inc()
+	r.col.RPCSeconds.Observe(time.Since(start).Seconds())
+	if ferr != nil {
+		r.col.RPCErrors.Inc()
+		return nil, ferr
+	}
+	return &resp, nil
+}
+
+func (r *Router) nodeCheckpoint(ctx context.Context, node, localID string) (*server.SuspendResponse, error) {
+	var resp server.SuspendResponse
+	if err := r.rpc(ctx, node, http.MethodPost, "/sessions/"+localID+"/checkpoint", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (r *Router) nodeSuspend(ctx context.Context, node, localID string) (*server.SuspendResponse, error) {
+	var resp server.SuspendResponse
+	if err := r.rpc(ctx, node, http.MethodPost, "/sessions/"+localID+"/suspend", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (r *Router) nodeClose(ctx context.Context, node, localID string) error {
+	return r.rpc(ctx, node, http.MethodDelete, "/sessions/"+localID, nil, nil)
+}

@@ -1,0 +1,139 @@
+// Package retry is the module's one audited retry/backoff
+// implementation: jittered exponential backoff with a bounded attempt
+// count, context-aware sleeps, and an optional per-attempt timeout.
+// The cluster layer uses it for every inter-node RPC and the session
+// WAL uses it for tombstone appends, so both share one policy shape
+// and one set of tests instead of hand-rolled loops.
+package retry
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy configures one retry loop. The zero value retries up to 3
+// attempts with 10ms base delay, doubling, capped at 1s, with full
+// jitter. Policies are values: copy and adjust freely.
+type Policy struct {
+	// MaxAttempts bounds total attempts, first try included (default 3).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay before the second attempt
+	// (default 10ms). Negative disables sleeping entirely (attempts
+	// run back to back — the WAL tombstone configuration).
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter exponential growth (default 1s).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter in [0,1] is the fraction of each delay drawn uniformly at
+	// random: delay = d*(1-Jitter) + rand(d*Jitter). Defaults to 1
+	// (full jitter, the decorrelated-herd setting); set small values
+	// only when tests need near-deterministic timing.
+	Jitter float64
+	// AttemptTimeout, when positive, bounds each attempt with its own
+	// context deadline — a slow attempt is abandoned and retried
+	// instead of eating the whole caller budget.
+	AttemptTimeout time.Duration
+	// RetryIf, when non-nil, classifies errors: returning false stops
+	// the loop immediately (the error is terminal, e.g. a 4xx). Nil
+	// retries every error.
+	RetryIf func(error) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the jittered sleep before attempt i+1 (i counts from 0:
+// Delay(0) separates the first and second attempts). It never exceeds
+// MaxDelay and is 0 when BaseDelay is negative.
+func (p Policy) Delay(i int) time.Duration {
+	p = p.withDefaults()
+	if p.BaseDelay < 0 {
+		return 0
+	}
+	d := float64(p.BaseDelay)
+	for ; i > 0 && d < float64(p.MaxDelay); i-- {
+		d *= p.Multiplier
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d = d*(1-p.Jitter) + rand.Float64()*d*p.Jitter
+	}
+	return time.Duration(d)
+}
+
+// Do runs op until it succeeds, exhausts MaxAttempts, hits a terminal
+// error (RetryIf false), or ctx is canceled. Each attempt receives a
+// child context carrying AttemptTimeout when configured. The returned
+// error is op's last error unwrapped — status-carrying errors and
+// injected-fault markers survive the loop — or ctx.Err() when the
+// caller's context ended first.
+func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
+	p = p.withDefaults()
+	var last error
+	for i := 0; i < p.MaxAttempts; i++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err := op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		last = err
+		if p.RetryIf != nil && !p.RetryIf(err) {
+			return err
+		}
+		if i == p.MaxAttempts-1 {
+			break
+		}
+		if d := p.Delay(i); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return last
+			}
+		}
+	}
+	return last
+}
+
+// Attempts runs op like Do and additionally reports how many attempts
+// executed — callers that meter retries (ca_cluster_rpc_retries_total)
+// use it to count exactly the extra attempts.
+func (p Policy) Attempts(ctx context.Context, op func(context.Context) error) (int, error) {
+	n := 0
+	err := p.Do(ctx, func(actx context.Context) error {
+		n++
+		return op(actx)
+	})
+	return n, err
+}

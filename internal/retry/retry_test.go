@@ -1,0 +1,145 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	n := 0
+	err := Policy{}.Do(context.Background(), func(context.Context) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("got err=%v n=%d, want nil/1", err, n)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	n := 0
+	p := Policy{MaxAttempts: 5, BaseDelay: -1}
+	err := p.Do(context.Background(), func(context.Context) error {
+		n++
+		if n < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("got err=%v n=%d, want nil/3", err, n)
+	}
+}
+
+func TestDoExhaustsAndReturnsLastError(t *testing.T) {
+	want := errors.New("still broken")
+	n := 0
+	p := Policy{MaxAttempts: 4, BaseDelay: -1}
+	err := p.Do(context.Background(), func(context.Context) error {
+		n++
+		return want
+	})
+	if !errors.Is(err, want) || n != 4 {
+		t.Fatalf("got err=%v n=%d, want %v/4", err, n, want)
+	}
+}
+
+func TestDoTerminalErrorStopsImmediately(t *testing.T) {
+	terminal := errors.New("terminal")
+	n := 0
+	p := Policy{MaxAttempts: 5, BaseDelay: -1, RetryIf: func(err error) bool { return !errors.Is(err, terminal) }}
+	err := p.Do(context.Background(), func(context.Context) error {
+		n++
+		return terminal
+	})
+	if !errors.Is(err, terminal) || n != 1 {
+		t.Fatalf("got err=%v n=%d, want terminal after 1 attempt", err, n)
+	}
+}
+
+func TestDoHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	p := Policy{MaxAttempts: 100, BaseDelay: time.Hour, Jitter: 0}
+	start := time.Now()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := p.Do(ctx, func(context.Context) error {
+		n++
+		return errors.New("transient")
+	})
+	if err == nil || n != 1 {
+		t.Fatalf("got err=%v n=%d, want transient error after 1 attempt", err, n)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel did not interrupt the backoff sleep (took %v)", elapsed)
+	}
+}
+
+func TestDoCanceledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	err := Policy{}.Do(ctx, func(context.Context) error { n++; return nil })
+	if !errors.Is(err, context.Canceled) || n != 0 {
+		t.Fatalf("got err=%v n=%d, want context.Canceled and 0 attempts", err, n)
+	}
+}
+
+func TestAttemptTimeoutBoundsEachTry(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: -1, AttemptTimeout: 10 * time.Millisecond}
+	deadlines := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got err=%v, want DeadlineExceeded", err)
+	}
+	if deadlines != 2 {
+		t.Fatalf("got %d attempts with deadlines, want 2", deadlines)
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2, Jitter: 0}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if d := p.Delay(i); d != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterStaysBounded(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.Delay(3)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered delay %v out of [50ms,100ms]", d)
+		}
+	}
+}
+
+func TestDelayNegativeBaseDisablesSleep(t *testing.T) {
+	p := Policy{BaseDelay: -1}
+	if d := p.Delay(5); d != 0 {
+		t.Fatalf("Delay with negative base = %v, want 0", d)
+	}
+}
+
+func TestAttemptsCountsTries(t *testing.T) {
+	n, err := Policy{MaxAttempts: 3, BaseDelay: -1}.Attempts(context.Background(), func(context.Context) error {
+		return errors.New("transient")
+	})
+	if err == nil || n != 3 {
+		t.Fatalf("got n=%d err=%v, want 3 attempts and an error", n, err)
+	}
+}

@@ -114,6 +114,11 @@ type SessionInfo struct {
 type FeedRequest struct {
 	Chunk    string `json:"chunk,omitempty"`
 	ChunkB64 string `json:"chunk_b64,omitempty"`
+	// Checkpoint asks the server to piggyback the session's post-feed
+	// state snapshot onto the response — the cluster router ships it to
+	// the session's successor node so a failover resumes from exactly
+	// this point without another round trip.
+	Checkpoint bool `json:"checkpoint,omitempty"`
 }
 
 // FeedResponse returns the chunk's matches (absolute offsets).
@@ -125,6 +130,10 @@ type FeedResponse struct {
 	// session stays open, and the client resumes by re-sending the
 	// chunk's unconsumed suffix (its bytes from Pos on).
 	Truncated bool `json:"truncated,omitempty"`
+	// SnapshotB64 is the session's post-feed state snapshot, present
+	// only when the request set Checkpoint and the feed completed
+	// without truncation.
+	SnapshotB64 string `json:"snapshot_b64,omitempty"`
 }
 
 // SuspendResponse carries a suspended session's serialized architectural
@@ -134,6 +143,36 @@ type SuspendResponse struct {
 	Ruleset     string `json:"ruleset"`
 	Pos         int64  `json:"pos"`
 	SnapshotB64 string `json:"snapshot_b64"`
+}
+
+// Artifact carries one rule set's serialized compiled automaton
+// (internal/caformat bytes, base64) plus its originating compile
+// request — the cluster's unit of rule-set shipping. GET
+// /rulesets/{name}/artifact exports it from any holder and PUT
+// /rulesets/{name}/artifact installs it on a receiving node, which
+// loads the mapped automaton directly and never recompiles. Req rides
+// along so the receiving node's WAL, empty-body reload, and compile
+// cache keep working as if it had compiled the rules itself.
+type Artifact struct {
+	Name        string          `json:"name"`
+	Version     int             `json:"version"`
+	Req         *CompileRequest `json:"req,omitempty"`
+	ArtifactB64 string          `json:"artifact_b64"`
+}
+
+// ReadyDetail is /readyz's structured body: overall readiness plus
+// per-ruleset compile state, so a cluster health checker can tell a
+// warming node (rule sets still compiling or reloading) from a
+// draining or dead one instead of reading a bare 503.
+type ReadyDetail struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining,omitempty"`
+	// Rulesets maps each rule-set name to its readiness: "compiling"
+	// (first build in progress), "reloading" (a replacing build in
+	// progress — the previous version still serves), "cached"
+	// (published, loaded from the compile cache or installed from a
+	// shipped artifact) or "ready" (published, compiled from source).
+	Rulesets map[string]string `json:"rulesets,omitempty"`
 }
 
 // Health is the health-check payload.

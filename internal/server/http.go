@@ -61,6 +61,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /rulesets", func(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, r, "rulesets.list", func(context.Context) (any, error) { return s.Rulesets(), nil })
 	})
+	mux.HandleFunc("GET /rulesets/{name}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		s.reply(w, r, "rulesets.artifact", func(context.Context) (any, error) {
+			return s.Artifact(r.PathValue("name"))
+		})
+	})
+	mux.HandleFunc("PUT /rulesets/{name}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		var art Artifact
+		if err := s.decode(w, r, &art); err != nil {
+			return
+		}
+		s.reply(w, r, "rulesets.install", func(ctx context.Context) (any, error) {
+			return s.InstallArtifact(ctx, r.PathValue("name"), art)
+		})
+	})
 	mux.HandleFunc("GET /rulesets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, r, "rulesets.get", func(context.Context) (any, error) { return s.Ruleset(r.PathValue("name")) })
 	})
@@ -100,6 +114,11 @@ func (s *Server) Handler() http.Handler {
 			return s.Suspend(ctx, r.PathValue("id"))
 		})
 	})
+	mux.HandleFunc("POST /sessions/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		s.reply(w, r, "sessions.checkpoint", func(ctx context.Context) (any, error) {
+			return s.Checkpoint(ctx, r.PathValue("id"))
+		})
+	})
 	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, r, "sessions.close", func(ctx context.Context) (any, error) {
 			return okBody{}, s.CloseSession(ctx, r.PathValue("id"))
@@ -117,12 +136,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		// Readiness is separate from liveness: it flips 503 at drain start,
 		// before any listener closes, so load balancers stop routing new
-		// traffic while in-flight requests still complete.
-		if s.Readyz() {
-			writeJSON(w, http.StatusOK, okBody{})
-			return
+		// traffic while in-flight requests still complete. The body always
+		// carries the per-ruleset readiness detail (compiling / reloading /
+		// cached / ready), so a router's health checker can distinguish a
+		// node that is warming from one that is dying.
+		d := s.ReadyDetail()
+		code := http.StatusOK
+		if !d.Ready {
+			code = http.StatusServiceUnavailable
 		}
-		writeJSON(w, http.StatusServiceUnavailable, errBody{Error: "not ready"})
+		writeJSON(w, code, d)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusNotFound, "no route %s %s", r.Method, r.URL.Path))
@@ -226,7 +249,7 @@ func (s *Server) reply(w http.ResponseWriter, r *http.Request, op string, fn fun
 	s.col.Requests.Inc()
 	s.col.InFlight.Add(1)
 	start := time.Now()
-	rt := s.newTrace(op)
+	rt := s.newTraceFor(op, r)
 	if rt != nil {
 		w.Header().Set("X-CA-Trace-Id", rt.ID())
 	}
@@ -259,6 +282,20 @@ func (s *Server) reply(w http.ResponseWriter, r *http.Request, op string, fn fun
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// newTraceFor opens the request trace, adopting a sane inbound
+// X-CA-Trace-Id — the cluster router's propagation header — so one
+// client request correlates across the router's and every node's
+// flight recorder under a single id.
+func (s *Server) newTraceFor(op string, r *http.Request) *telemetry.ReqTrace {
+	if s.ring == nil {
+		return nil
+	}
+	if id := r.Header.Get("X-CA-Trace-Id"); id != "" && len(id) <= 96 && !strings.ContainsAny(id, " \t\r\n") {
+		return telemetry.NewReqTraceWithID(op, id)
+	}
+	return telemetry.NewReqTrace(op)
 }
 
 // debugRequests serves the flight recorder: GET /debug/requests returns

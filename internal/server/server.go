@@ -32,6 +32,7 @@ import (
 	ca "cacheautomaton"
 	"cacheautomaton/internal/caformat"
 	"cacheautomaton/internal/faults"
+	"cacheautomaton/internal/retry"
 	"cacheautomaton/internal/telemetry"
 )
 
@@ -183,6 +184,10 @@ type Server struct {
 	mu       sync.RWMutex
 	rulesets map[string]*ruleset
 	sessions map[string]*session
+	// states is the per-ruleset readiness detail behind /readyz:
+	// "compiling" / "reloading" while a build is in progress,
+	// "ready" / "cached" once published (see ReadyDetail).
+	states   map[string]string
 	draining bool
 	nextID   uint64
 	// wal, when non-nil, is the session write-ahead log (AttachWAL).
@@ -239,6 +244,7 @@ func New(cfg Config) *Server {
 		log:        cfg.Logger,
 		rulesets:   make(map[string]*ruleset),
 		sessions:   make(map[string]*session),
+		states:     make(map[string]string),
 		slots:      make(chan struct{}, cfg.MatchWorkers),
 		stopReaper: make(chan struct{}),
 		reaperDone: make(chan struct{}),
@@ -497,6 +503,16 @@ func (s *Server) walAppend(rt *telemetry.ReqTrace, rec walRecord) {
 	s.walAppendRetry(rt, w, rec)
 }
 
+// walTombstoneRetry is the tombstone append policy: a handful of
+// near-immediate attempts through the shared internal/retry helper (the
+// same audited implementation the cluster layer uses for inter-node
+// RPCs). Delays stay microscopic because appends may run under sess.mu.
+var walTombstoneRetry = retry.Policy{
+	MaxAttempts: 5,
+	BaseDelay:   200 * time.Microsecond,
+	MaxDelay:    2 * time.Millisecond,
+}
+
 // walAppendRetry is the span-free append core shared by walAppend and
 // walCheckpoint (which record their own "wal" spans — exactly one per
 // logged operation). Every failed injected append is annotated onto rt
@@ -506,20 +522,20 @@ func (s *Server) walAppendRetry(rt *telemetry.ReqTrace, w *wal, rec walRecord) {
 	// checkpoint is superseded by the session's next checkpoint, but a
 	// lost close/delete tombstone has no successor record — replay would
 	// resurrect state the client was told is gone.
-	attempts := 1
+	policy := retry.Policy{MaxAttempts: 1, BaseDelay: -1}
 	if _, tombstone := rec.key(); tombstone {
-		attempts = 5
+		policy = walTombstoneRetry
 	}
-	for i := 0; i < attempts; i++ {
-		err := w.Append(rec)
-		if err == nil {
-			return
-		}
-		if faults.IsInjected(err) {
+	attempts, err := policy.Attempts(context.Background(), func(context.Context) error {
+		aerr := w.Append(rec)
+		if aerr != nil && faults.IsInjected(aerr) {
 			rt.Annotate("fault", "server.wal.append")
 		}
+		return aerr
+	})
+	if err != nil {
+		s.log.Warn("wal append failed", "kind", rec.Kind, "attempts", attempts)
 	}
-	s.log.Warn("wal append failed", "kind", rec.Kind, "attempts", attempts)
 }
 
 // walCheckpoint logs a session's current architectural state so a
@@ -620,6 +636,15 @@ func (s *Server) Compile(ctx context.Context, name string, req CompileRequest) (
 	default:
 		return nil, errf(http.StatusBadRequest, "unknown format %q (want regex, anml, snort or clamav)", format)
 	}
+	// From here the build is real work: surface it in the /readyz
+	// detail so a cluster health checker sees "warming", not silence.
+	rollbackState := s.markCompiling(name)
+	committed := false
+	defer func() {
+		if !committed {
+			rollbackState()
+		}
+	}()
 	s.mu.RLock()
 	cache := s.cache
 	s.mu.RUnlock()
@@ -703,23 +728,8 @@ func (s *Server) Compile(ctx context.Context, name string, req CompileRequest) (
 			Cached:         cached,
 		},
 	}
-	if s.cfg.BatchWindow > 0 {
-		rs.b = &batcher{s: s, rs: rs}
-	}
-	// The swap is the atomicity point of both compile and reload: one map
-	// store under Server.mu publishes the new rule set. In-flight requests
-	// that already resolved the old *ruleset finish on the old automaton;
-	// every later lookup — new matches, sessions, batched flushes — gets
-	// the new one; sessions opened against the old version hold its
-	// Automaton pointer and keep it until close.
-	s.mu.Lock()
-	rs.info.Version = 1
-	if old := s.rulesets[name]; old != nil {
-		rs.info.Version = old.info.Version + 1
-	}
-	s.rulesets[name] = rs
-	s.col.Rulesets.Set(int64(len(s.rulesets)))
-	s.mu.Unlock()
+	s.publish(name, rs, cached)
+	committed = true
 	reqCopy := req
 	s.walAppend(rt, walRecord{Kind: "compile", Name: name, Req: &reqCopy})
 	s.log.InfoContext(ctx, "ruleset compiled",
@@ -763,6 +773,176 @@ func (s *Server) Reload(ctx context.Context, name string, req *CompileRequest) (
 	return info, nil
 }
 
+// markCompiling records the per-ruleset readiness detail while a build
+// runs ("compiling" for a new name, "reloading" for a replacing one)
+// and returns the rollback that restores the previous state when the
+// build fails. The successful path overwrites the state in publish.
+func (s *Server) markCompiling(name string) (rollback func()) {
+	s.mu.Lock()
+	prev, existed := s.states[name]
+	next := "compiling"
+	if _, loaded := s.rulesets[name]; loaded {
+		next = "reloading"
+	}
+	s.states[name] = next
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if existed {
+			s.states[name] = prev
+		} else {
+			delete(s.states, name)
+		}
+	}
+}
+
+// publish atomically swaps the named rule set in. The single map store
+// under Server.mu is the atomicity point of compile, reload and
+// artifact install alike: in-flight requests that already resolved the
+// old *ruleset finish on the old automaton; every later lookup — new
+// matches, sessions, batched flushes — gets the new one; sessions
+// opened against the old version hold its Automaton pointer and keep
+// it until close.
+func (s *Server) publish(name string, rs *ruleset, cached bool) {
+	if s.cfg.BatchWindow > 0 {
+		rs.b = &batcher{s: s, rs: rs}
+	}
+	state := "ready"
+	if cached {
+		state = "cached"
+	}
+	s.mu.Lock()
+	rs.info.Version = 1
+	if old := s.rulesets[name]; old != nil {
+		rs.info.Version = old.info.Version + 1
+	}
+	s.rulesets[name] = rs
+	s.states[name] = state
+	s.col.Rulesets.Set(int64(len(s.rulesets)))
+	s.mu.Unlock()
+}
+
+// Artifact exports the named rule set as a shippable Artifact: its
+// serialized caformat encoding plus the originating compile request.
+// The cluster router fetches it from any holder and installs it on the
+// nodes the placement ring assigns, so replicas never recompile.
+func (s *Server) Artifact(name string) (*Artifact, error) {
+	rs, err := s.ruleset(name)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := rs.a.Save(&buf); err != nil {
+		return nil, errf(http.StatusInternalServerError, "serialize %q: %v", name, err)
+	}
+	reqCopy := rs.req
+	return &Artifact{
+		Name:        name,
+		Version:     rs.info.Version,
+		Req:         &reqCopy,
+		ArtifactB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+	}, nil
+}
+
+// InstallArtifact publishes a rule set from its shipped caformat
+// artifact — the receiving half of cluster placement. The mapped
+// automaton is loaded, never recompiled; the artifact's compile
+// request is logged to the WAL (when present) so replay, empty-body
+// reload and cache keys on this node behave exactly as if the node had
+// compiled the rules itself.
+func (s *Server) InstallArtifact(ctx context.Context, name string, art Artifact) (*RulesetInfo, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	rt := telemetry.ReqTraceFrom(ctx)
+	rt.SetRuleset(name)
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return nil, errf(http.StatusBadRequest, "bad ruleset name %q", name)
+	}
+	if art.ArtifactB64 == "" {
+		return nil, errf(http.StatusBadRequest, "missing artifact_b64")
+	}
+	data, err := base64.StdEncoding.DecodeString(art.ArtifactB64)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "bad artifact base64: %v", err)
+	}
+	rollbackState := s.markCompiling(name)
+	committed := false
+	defer func() {
+		if !committed {
+			rollbackState()
+		}
+	}()
+	start := time.Now()
+	a, err := ca.Load(bytes.NewReader(data), ca.Options{})
+	if err != nil {
+		return nil, errf(http.StatusUnprocessableEntity, "load artifact: %v", err)
+	}
+	names := a.SignatureNames()
+	format := "artifact"
+	patterns := 0
+	if art.Req != nil {
+		format = art.Req.Format
+		if format == "" {
+			format = "regex"
+		}
+		switch format {
+		case "regex":
+			patterns = len(art.Req.Patterns)
+		case "clamav":
+			patterns = len(names)
+		}
+	}
+	rs := &ruleset{
+		a: a,
+		info: RulesetInfo{
+			Name:           name,
+			Format:         format,
+			Patterns:       patterns,
+			States:         a.States(),
+			Partitions:     a.Partitions(),
+			CacheMB:        a.CacheUsageMB(),
+			CompileMS:      float64(time.Since(start).Microseconds()) / 1000,
+			SignatureNames: names,
+			Cached:         true,
+		},
+	}
+	if art.Req != nil {
+		rs.req = *art.Req
+	}
+	s.publish(name, rs, true)
+	committed = true
+	if art.Req != nil {
+		reqCopy := *art.Req
+		s.walAppend(rt, walRecord{Kind: "compile", Name: name, Req: &reqCopy})
+	}
+	s.log.InfoContext(ctx, "ruleset installed from artifact",
+		"ruleset", name, "states", rs.info.States, "partitions", rs.info.Partitions,
+		"load_ms", rs.info.CompileMS, "version", rs.info.Version)
+	info := rs.info
+	return &info, nil
+}
+
+// ReadyDetail reports readiness with per-ruleset compile states — the
+// structured body behind /readyz that lets a cluster health checker
+// distinguish a warming node from a dying one.
+func (s *Server) ReadyDetail() ReadyDetail {
+	ready := s.Readyz()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := ReadyDetail{Ready: ready, Draining: s.draining}
+	if len(s.states) > 0 {
+		d.Rulesets = make(map[string]string, len(s.states))
+		for name, st := range s.states {
+			d.Rulesets[name] = st
+		}
+	}
+	return d
+}
+
 // Ruleset returns one rule set's description.
 func (s *Server) Ruleset(name string) (*RulesetInfo, error) {
 	rs, err := s.ruleset(name)
@@ -801,6 +981,7 @@ func (s *Server) DeleteRuleset(name string) error {
 		return errf(http.StatusNotFound, "no ruleset %q", name)
 	}
 	delete(s.rulesets, name)
+	delete(s.states, name)
 	s.col.Rulesets.Set(int64(len(s.rulesets)))
 	s.mu.Unlock()
 	s.walAppend(nil, walRecord{Kind: "delete", Name: name})
@@ -1099,7 +1280,57 @@ func (s *Server) Feed(ctx context.Context, id string, req FeedRequest) (*FeedRes
 		// resume from Pos without losing or duplicating reports.
 		return &FeedResponse{Matches: wireMatches(ms), Pos: sess.stream.Pos(), Truncated: true}, nil
 	}
-	return &FeedResponse{Matches: wireMatches(ms), Pos: sess.stream.Pos()}, nil
+	resp := &FeedResponse{Matches: wireMatches(ms), Pos: sess.stream.Pos()}
+	if req.Checkpoint {
+		// Piggyback the post-feed snapshot for the cluster router's
+		// checkpoint shipping. A failed suspend just omits it — the
+		// router keeps shipping the previous checkpoint, trading a
+		// slightly older resume point, never a failed feed.
+		var buf bytes.Buffer
+		if err := sess.stream.Suspend(&buf); err == nil {
+			resp.SnapshotB64 = base64.StdEncoding.EncodeToString(buf.Bytes())
+		}
+	}
+	return resp, nil
+}
+
+// Checkpoint serializes a session's architectural state without
+// closing it — the shipping half of cluster session hand-off, and the
+// router's way to seed a fresh session's first checkpoint. The
+// returned snapshot resumes on any server holding the same compiled
+// rule set; the session keeps serving here until the cluster layer
+// decides to move it.
+func (s *Server) Checkpoint(ctx context.Context, id string) (*SuspendResponse, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	rt := telemetry.ReqTraceFrom(ctx)
+	if err := faults.Check("server.suspend"); err != nil {
+		rt.Annotate("fault", "server.suspend")
+		return nil, errc(http.StatusInternalServerError, err, "checkpoint: %v", err)
+	}
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	rt.SetRuleset(sess.ruleset)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return nil, errf(http.StatusConflict, "session %q is closed", id)
+	}
+	sess.lastUsed = time.Now()
+	var buf bytes.Buffer
+	if err := sess.stream.Suspend(&buf); err != nil {
+		return nil, errf(http.StatusInternalServerError, "checkpoint: %v", err)
+	}
+	return &SuspendResponse{
+		Ruleset:     sess.ruleset,
+		Pos:         sess.stream.Pos(),
+		SnapshotB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+	}, nil
 }
 
 // Suspend serializes a session's architectural state, closes the session,

@@ -1,0 +1,106 @@
+package telemetry
+
+// ClusterCollector aggregates the cluster layer's metrics (names
+// prefixed ca_cluster_): membership health, inter-node RPC traffic and
+// retries, hedged match fan-out, session hand-off and checkpoint
+// shipping, and placement changes. One collector belongs to one router.
+type ClusterCollector struct {
+	// Nodes is the number of registered members; NodesAlive /
+	// NodesSuspect / NodesDead break the membership down by health
+	// state (heartbeat-driven).
+	Nodes        *Gauge
+	NodesAlive   *Gauge
+	NodesSuspect *Gauge
+	NodesDead    *Gauge
+	// Heartbeats counts health probes sent; HeartbeatFailures counts
+	// probes that errored or timed out (each one advances a member
+	// toward suspect and then dead).
+	Heartbeats        *Counter
+	HeartbeatFailures *Counter
+	// RPCs counts inter-node calls issued by the router (all kinds);
+	// RPCErrors counts calls that failed after all retry attempts;
+	// RPCRetries counts the extra attempts beyond each call's first.
+	RPCs       *Counter
+	RPCErrors  *Counter
+	RPCRetries *Counter
+	// RPCSeconds is the per-call latency distribution (first byte to
+	// decoded response, including retries).
+	RPCSeconds *Histogram
+	// HedgedMatches counts one-shot matches where the hedge fired (a
+	// second replica was asked because the primary was slow or down);
+	// HedgeWins counts hedged matches the fallback replica answered
+	// first.
+	HedgedMatches *Counter
+	HedgeWins     *Counter
+	// Sessions is the number of cluster sessions currently tracked by
+	// the router's session table.
+	Sessions *Gauge
+	// Failovers counts session hand-offs forced by a failed or dead
+	// owner (resume-from-last-checkpoint on the successor); Handoffs
+	// counts planned migrations (rebalance after a rejoin). Both end
+	// with the session serving on a different node.
+	Failovers *Counter
+	Handoffs  *Counter
+	// HandoffSeconds is the time from deciding to move a session to its
+	// successful resume on the new node.
+	HandoffSeconds *Histogram
+	// CheckpointsShipped / CheckpointBytes count session state snapshots
+	// the router received from feed piggybacks and checkpoint calls —
+	// the state that makes failover resume exact.
+	CheckpointsShipped *Counter
+	CheckpointBytes    *Counter
+	// ArtifactsShipped counts compiled-automaton artifacts installed on
+	// nodes (placement and rejoin reconciliation; receiving nodes never
+	// recompile).
+	ArtifactsShipped *Counter
+	// Rebalances counts placement reconciliation rounds triggered by
+	// membership changes (join, rejoin, death).
+	Rebalances *Counter
+	// PlacementsRefused counts placement changes (compiles, deletes,
+	// joins, session moves) refused because the router could not see a
+	// majority of members — the minority-partition degradation rule.
+	PlacementsRefused *Counter
+	// Proxied counts client requests the router forwarded to nodes;
+	// ProxyErrors counts the ones that ultimately failed.
+	Proxied     *Counter
+	ProxyErrors *Counter
+	// RingVersion is the monotonically increasing version of the
+	// routing table served at /cluster (bumped by every membership or
+	// placement change).
+	RingVersion *Gauge
+}
+
+// NewClusterCollector registers the cluster metrics in reg and returns
+// the collector. reg == nil uses Default().
+func NewClusterCollector(reg *Registry) *ClusterCollector {
+	if reg == nil {
+		reg = Default()
+	}
+	latencyBuckets := ExpBuckets(0.0001, 4, 10) // 100µs … ~26s
+	return &ClusterCollector{
+		Nodes:              reg.Gauge("ca_cluster_nodes", "registered cluster members"),
+		NodesAlive:         reg.Gauge("ca_cluster_nodes_alive", "members whose heartbeats pass"),
+		NodesSuspect:       reg.Gauge("ca_cluster_nodes_suspect", "members with missed heartbeats, not yet dead"),
+		NodesDead:          reg.Gauge("ca_cluster_nodes_dead", "members declared dead by the health checker"),
+		Heartbeats:         reg.Counter("ca_cluster_heartbeats_total", "health probes sent to members"),
+		HeartbeatFailures:  reg.Counter("ca_cluster_heartbeat_failures_total", "health probes that errored or timed out"),
+		RPCs:               reg.Counter("ca_cluster_rpcs_total", "inter-node calls issued by the router"),
+		RPCErrors:          reg.Counter("ca_cluster_rpc_errors_total", "inter-node calls failed after all retries"),
+		RPCRetries:         reg.Counter("ca_cluster_rpc_retries_total", "extra inter-node call attempts beyond the first"),
+		RPCSeconds:         reg.Histogram("ca_cluster_rpc_seconds", "inter-node call latency in seconds", latencyBuckets),
+		HedgedMatches:      reg.Counter("ca_cluster_hedged_matches_total", "one-shot matches where the hedge fired"),
+		HedgeWins:          reg.Counter("ca_cluster_hedge_wins_total", "hedged matches answered first by the fallback replica"),
+		Sessions:           reg.Gauge("ca_cluster_sessions", "cluster sessions tracked by the router"),
+		Failovers:          reg.Counter("ca_cluster_failovers_total", "session hand-offs forced by a failed or dead owner"),
+		Handoffs:           reg.Counter("ca_cluster_handoffs_total", "planned session migrations (rebalance)"),
+		HandoffSeconds:     reg.Histogram("ca_cluster_handoff_seconds", "session hand-off latency in seconds", latencyBuckets),
+		CheckpointsShipped: reg.Counter("ca_cluster_checkpoints_shipped_total", "session state snapshots shipped to the router"),
+		CheckpointBytes:    reg.Counter("ca_cluster_checkpoint_bytes_total", "bytes of shipped session state snapshots"),
+		ArtifactsShipped:   reg.Counter("ca_cluster_artifacts_shipped_total", "compiled-automaton artifacts installed on nodes"),
+		Rebalances:         reg.Counter("ca_cluster_rebalances_total", "placement reconciliation rounds"),
+		PlacementsRefused:  reg.Counter("ca_cluster_placements_refused_total", "placement changes refused for lack of quorum"),
+		Proxied:            reg.Counter("ca_cluster_proxied_requests_total", "client requests forwarded to nodes"),
+		ProxyErrors:        reg.Counter("ca_cluster_proxy_errors_total", "forwarded client requests that ultimately failed"),
+		RingVersion:        reg.Gauge("ca_cluster_ring_version", "routing table version served at /cluster"),
+	}
+}

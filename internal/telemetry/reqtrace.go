@@ -71,6 +71,19 @@ func NewReqTrace(op string) *ReqTrace {
 	}
 }
 
+// NewReqTraceWithID opens a trace under a caller-supplied id — the
+// cross-node propagation path: a cluster router mints the id once and
+// every node adopting it (via the X-CA-Trace-Id request header) records
+// its local stages under the same id, so one client request can be
+// followed across every flight recorder it touched. An empty id falls
+// back to a fresh one.
+func NewReqTraceWithID(op, id string) *ReqTrace {
+	if id == "" {
+		return NewReqTrace(op)
+	}
+	return &ReqTrace{id: id, op: op, start: time.Now()}
+}
+
 // ID returns the trace id ("" on a nil trace) — the value echoed to the
 // client as X-CA-Trace-Id and accepted by /debug/requests?id=.
 func (t *ReqTrace) ID() string {
