@@ -150,6 +150,7 @@ func runCluster(w io.Writer, nodes, sessions, chunks int, seed int64) error {
 				chunk := clusterChunk(s, j, chunkBytes, seed)
 				deadline := time.Now().Add(30 * time.Second)
 				for {
+					//cavet:ignore singleattempt drill driver rides Router.Feed, which re-homes the session via checkpoint failover before each attempt
 					fr, err := r.Feed(ctx, info.Session, server.FeedRequest{Chunk: chunk})
 					if err == nil {
 						matches.Add(int64(len(fr.Matches)))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -90,6 +91,77 @@ func (s *Server) snapshot(w *wal) {
 	w.Append(nil) // SEED:errdrop
 }
 `,
+
+	"telemetry/trace.go": `package telemetry
+
+type Span struct{ note string }
+
+func (s *Span) End() {}
+
+func (s *Span) SetNote(n string) { s.note = n }
+
+type ReqTrace struct{}
+
+func (rt *ReqTrace) StartStage(name string) *Span { return &Span{} }
+`,
+
+	// An unbalanced span and a fire-and-forget goroutine.
+	"server/trace.go": `package server
+
+import "example.com/seeded/telemetry"
+
+func (s *Server) traced(rt *telemetry.ReqTrace) {
+	sp := rt.StartStage("match") // SEED:spanbalance
+	sp.SetNote("left open")
+}
+
+func leak() {
+	for {
+	}
+}
+
+func (s *Server) background() {
+	go leak() // SEED:goroutinelife
+}
+`,
+
+	// A decoded wire length reaching make with no cap check.
+	"caformat/decode.go": `package caformat
+
+import "encoding/binary"
+
+func decodeBody(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	return make([]byte, n) // SEED:boundedalloc
+}
+`,
+
+	// A loop-wrapped feed RPC and an egress call with no faults seam.
+	"cluster/feed.go": `package cluster
+
+type Router struct{}
+
+func (r *Router) nodeFeed(node string) (int, error) { return 0, nil }
+
+func (r *Router) Feed(nodes []string) {
+	for range nodes {
+		_, _ = r.nodeFeed("n") // SEED:singleattempt
+	}
+}
+`,
+
+	"cluster/rpc.go": `package cluster
+
+import "net/http"
+
+func (r *Router) probe(c *http.Client, url string) error {
+	resp, err := c.Get(url) // SEED:seamcover
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+`,
 }
 
 // markerLine returns the 1-based line of the marker in src.
@@ -134,6 +206,11 @@ func TestSeededBugsAreCaught(t *testing.T) {
 		{"server/serve.go", "SEED:ctxpropagate", "ctxpropagate"},
 		{"server/serve.go", "SEED:leasebalance", "leasebalance"},
 		{"server/serve.go", "SEED:errdrop", "errdrop"},
+		{"server/trace.go", "SEED:spanbalance", "spanbalance"},
+		{"server/trace.go", "SEED:goroutinelife", "goroutinelife"},
+		{"caformat/decode.go", "SEED:boundedalloc", "boundedalloc"},
+		{"cluster/feed.go", "SEED:singleattempt", "singleattempt"},
+		{"cluster/rpc.go", "SEED:seamcover", "seamcover"},
 	}
 	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
 	for _, want := range expected {
@@ -221,7 +298,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"lockorder", "leasebalance", "ctxpropagate", "errdrop", "atomicmix", "metricname"} {
+	for _, name := range []string{
+		"lockorder", "leasebalance", "ctxpropagate", "errdrop", "atomicmix", "metricname",
+		"spanbalance", "goroutinelife", "boundedalloc", "singleattempt", "seamcover",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, &stdout)
 		}
@@ -238,5 +318,256 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"a", "b"}, &stdout, &stderr); code != 2 {
 		t.Errorf("extra args: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-format", "xml", "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown format: exit = %d, want 2", code)
+	}
+}
+
+func TestStaleSuppressionIsAFinding(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module example.com/stale\n\ngo 1.21\n",
+		"w.go": `package stale
+
+func OK() int {
+	//cavet:ignore errdrop nothing on the next line actually drops an error
+	return 1
+}
+`,
+	}
+	dir := writeModule(t, files)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, &stdout)
+	}
+	if !strings.Contains(stdout.String(), "stale suppression") {
+		t.Errorf("stale directive not reported:\n%s", &stdout)
+	}
+}
+
+func TestFormatJSON(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-format", "json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	var findings []struct {
+		File      string `json:"file"`
+		Line      int    `json:"line"`
+		Column    int    `json:"column"`
+		Analyzer  string `json:"analyzer"`
+		Message   string `json:"message"`
+		Baselined bool   `json:"baselined"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, &stdout)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		seen[f.Analyzer] = true
+	}
+	for _, a := range []string{"lockorder", "spanbalance", "boundedalloc", "singleattempt", "seamcover"} {
+		if !seen[a] {
+			t.Errorf("JSON output missing a %s finding", a)
+		}
+	}
+}
+
+// TestFormatSARIF checks the emitted log against the structural
+// requirements of the SARIF 2.1.0 schema: the version/$schema pair, the
+// runs/tool/driver spine, rule declarations, and for every result a
+// ruleId, level, message.text, and a physicalLocation whose startLine
+// is at least 1.
+func TestFormatSARIF(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-format", "sarif", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				BaselineState string `json:"baselineState"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, &stdout)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema URI", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "cavet" {
+		t.Errorf("driver name = %q, want cavet", run0.Tool.Driver.Name)
+	}
+	rules := map[string]bool{}
+	for _, r := range run0.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	if len(run0.Results) == 0 {
+		t.Fatal("no results in SARIF output")
+	}
+	for _, res := range run0.Results {
+		if !rules[res.RuleID] {
+			t.Errorf("result ruleId %q has no matching rule declaration", res.RuleID)
+		}
+		if res.Level != "error" && res.Level != "note" {
+			t.Errorf("result level = %q, want error or note", res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Error("result with empty message.text")
+		}
+		if res.BaselineState != "new" {
+			t.Errorf("baselineState = %q, want new (no baseline given)", res.BaselineState)
+		}
+		if len(res.Locations) != 1 {
+			t.Errorf("result has %d locations, want 1", len(res.Locations))
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" {
+			t.Error("result with empty artifactLocation.uri")
+		}
+		if loc.Region.StartLine < 1 {
+			t.Errorf("startLine = %d, want >= 1", loc.Region.StartLine)
+		}
+	}
+}
+
+func TestFormatGitHub(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-format", "github", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "::error file=") {
+		t.Errorf("github format missing ::error command:\n%s", out)
+	}
+	if !strings.Contains(out, "title=cavet/lockorder") {
+		t.Errorf("github format missing analyzer title:\n%s", out)
+	}
+}
+
+// TestBaselineRoundTrip exercises the full grandfathering cycle:
+// -write-baseline swallows the current findings, -baseline turns them
+// non-fatal, a new bug on top still fails, and fixing a baselined bug
+// reports the leftover entry as removable.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	base := filepath.Join(t.TempDir(), "cavet.baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-write-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline: exit = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("all-baselined run: exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "(baselined)") {
+		t.Errorf("baselined findings not marked in text output:\n%s", &stdout)
+	}
+	if !strings.Contains(stderr.String(), "none new") {
+		t.Errorf("missing none-new summary on stderr:\n%s", &stderr)
+	}
+
+	// A fresh bug must fail even with every old finding grandfathered.
+	newBug := filepath.Join(dir, "server", "extra.go")
+	if err := os.WriteFile(newBug, []byte(`package server
+
+func (s *Server) snapshotTwice(w *wal) {
+	w.Append(nil)
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-baseline", base, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("new-bug run: exit = %d, want 1\nstdout:\n%s", code, &stdout)
+	}
+	if !strings.Contains(stderr.String(), "new finding") {
+		t.Errorf("missing new-finding summary on stderr:\n%s", &stderr)
+	}
+
+	// Fix a baselined bug: its entry now matches nothing and should be
+	// called out for removal, without failing the run.
+	if err := os.Remove(newBug); err != nil {
+		t.Fatal(err)
+	}
+	fixed := strings.Replace(seededModule["server/serve.go"],
+		"w.Append(nil) // SEED:errdrop",
+		"if err := w.Append(nil); err != nil {\n\t\tpanic(err)\n\t}", 1)
+	if err := os.WriteFile(filepath.Join(dir, "server", "serve.go"), []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fixed-bug run: exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "matches nothing") {
+		t.Errorf("stale baseline entry not reported:\n%s", &stderr)
+	}
+}
+
+func TestBaselineSARIFMarksUnchanged(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	base := filepath.Join(t.TempDir(), "cavet.baseline.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-write-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline: exit = %d, want 0", code)
+	}
+	stdout.Reset()
+	if code := run([]string{"-C", dir, "-baseline", base, "-format", "sarif", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, `"baselineState": "unchanged"`) {
+		t.Errorf("SARIF output missing unchanged baselineState:\n%s", out)
+	}
+	if strings.Contains(out, `"baselineState": "new"`) {
+		t.Errorf("fully-baselined run still marks results new:\n%s", out)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one analyzer report at a source position.
@@ -57,6 +58,13 @@ type Pkg struct {
 type Unit struct {
 	Fset *token.FileSet
 	Pkgs []*Pkg
+
+	// Cached shared-summary-layer state (see funcs.go). Built lazily and
+	// exactly once; analyzers run concurrently against the same caches.
+	funcsOnce sync.Once
+	funcs     []*FuncInfo
+	cgOnce    sync.Once
+	cg        *CallGraph
 }
 
 // Analyzer is one named check over a Unit.
@@ -81,11 +89,29 @@ func IsTestFile(filename string) bool {
 
 // Run applies every analyzer to the unit, filters findings through the
 // //cavet:ignore directives found in the sources, appends a finding for
-// every malformed directive, and returns the result sorted by position.
+// every malformed or stale directive, and returns the result sorted by
+// position.
+//
+// Analyzers execute concurrently (bounded by GOMAXPROCS) over the
+// shared function index and callgraph; output order stays deterministic
+// because findings are merged in analyzer order and sorted at the end.
 func Run(u *Unit, analyzers []*Analyzer) []Finding {
+	perAnalyzer := make([][]Finding, len(analyzers))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perAnalyzer[i] = a.Run(u)
+		}(i, a)
+	}
+	wg.Wait()
 	var all []Finding
-	for _, a := range analyzers {
-		for _, f := range a.Run(u) {
+	for i, a := range analyzers {
+		for _, f := range perAnalyzer[i] {
 			if a.SkipTests && IsTestFile(f.Pos.Filename) {
 				continue
 			}
@@ -103,6 +129,7 @@ func Run(u *Unit, analyzers []*Analyzer) []Finding {
 		}
 	}
 	kept = append(kept, bad...)
+	kept = append(kept, dirs.stale(analyzers)...)
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -27,39 +27,35 @@ func run(u *analysis.Unit) []analysis.Finding {
 	// sync/atomic function by address. Keyed by name because package
 	// variants duplicate objects.
 	atomicFields := make(map[string]bool)
-	for _, pkg := range u.Pkgs {
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok || !isAtomicCall(pkg.Info, call) {
-					return true
-				}
-				for _, arg := range call.Args {
-					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
-					if !ok || un.Op.String() != "&" {
-						continue
-					}
-					if key, ok := fieldKey(pkg.Info, un.X); ok {
-						atomicFields[key] = true
-					}
-				}
+	u.EachFile(func(pkg *analysis.Pkg, file *ast.File, _ string) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pkg.Info, call) {
 				return true
-			})
-		}
-	}
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if key, ok := fieldKey(pkg.Info, un.X); ok {
+					atomicFields[key] = true
+				}
+			}
+			return true
+		})
+	})
 	if len(atomicFields) == 0 {
 		return nil
 	}
 
 	// Pass 2: plain selector uses of those fields outside atomic calls.
 	var fs []analysis.Finding
-	for _, pkg := range u.Pkgs {
-		for _, file := range pkg.Files {
-			v := &visitor{u: u, pkg: pkg, atomic: atomicFields}
-			ast.Inspect(file, v.visit)
-			fs = append(fs, v.fs...)
-		}
-	}
+	u.EachFile(func(pkg *analysis.Pkg, file *ast.File, _ string) {
+		v := &visitor{u: u, pkg: pkg, atomic: atomicFields}
+		ast.Inspect(file, v.visit)
+		fs = append(fs, v.fs...)
+	})
 	return fs
 }
 

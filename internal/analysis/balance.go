@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file generalizes leasebalance's two-pass discharge analysis into
+// a reusable begin/end balance checker, so span begin/end pairs
+// (spanbalance) and lease get/put pairs (leasebalance) share one
+// engine.
+//
+// The model: a "begin" call produces a value that must be discharged
+// before the function ends. Discharge is either an explicit end method
+// called on the value, or any escape that transfers responsibility —
+// passed to a call, returned, stored, captured by a closure, sent on a
+// channel, or ranged over. Only a value that provably dies in the
+// function without either is reported.
+
+// BalanceSpec configures one begin/end pair for CheckBalance.
+type BalanceSpec struct {
+	// Begin classifies call as an acquisition; desc names it in the
+	// report callback (e.g. "Pool.Get", "ReqTrace.StartStage").
+	Begin func(info *types.Info, call *ast.CallExpr) (desc string, ok bool)
+	// EndMethods are method names on the acquired value that discharge
+	// it (e.g. {"End": true} for spans). May be empty when only escapes
+	// discharge.
+	EndMethods map[string]bool
+}
+
+// CheckBalance runs the discharge analysis over one function body and
+// calls report for every acquisition that is neither ended nor escaped.
+// A begin whose result is immediately discarded (expression statement,
+// or assigned to _) is reported at the call site.
+func CheckBalance(pkg *Pkg, fd *ast.FuncDecl, spec BalanceSpec, report func(n ast.Node, desc string)) {
+	type acquisition struct {
+		obj  types.Object
+		pos  ast.Node
+		desc string
+	}
+	var acqs []*acquisition
+
+	// Pass 1: find the begin sites and bind them to variables.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				desc, isBegin := spec.Begin(pkg.Info, call)
+				if !isBegin {
+					continue
+				}
+				// v, err := begin(): the tracked value is the first LHS.
+				if len(n.Lhs) == 0 {
+					continue
+				}
+				id, isIdent := n.Lhs[0].(*ast.Ident)
+				if !isIdent || id.Name == "_" {
+					report(call, desc)
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				acqs = append(acqs, &acquisition{obj: obj, pos: call, desc: desc})
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if desc, isBegin := spec.Begin(pkg.Info, call); isBegin {
+					report(call, desc)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: for each tracked value, look for a discharging use.
+	for _, a := range acqs {
+		if !discharged(pkg.Info, fd, a.obj, spec.EndMethods) {
+			report(a.pos, a.desc)
+		}
+	}
+}
+
+// discharged reports whether obj is ended or escapes fd (see the file
+// comment for the escape catalogue).
+func discharged(info *types.Info, fd *ast.FuncDecl, obj types.Object, endMethods map[string]bool) bool {
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// An end method invoked on the value itself.
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel &&
+				endMethods[sel.Sel.Name] && UsesObj(info, sel.X, obj) {
+				ok = true
+				return false
+			}
+			// The value passed to any call: a helper may discharge it.
+			for _, a := range n.Args {
+				if UsesObj(info, a, obj) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if UsesObj(info, r, obj) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if UsesObj(info, el, obj) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored somewhere (field, map/slice element) or aliased into
+			// another variable; either way responsibility moved beyond the
+			// binding we track, so stay silent rather than false-positive.
+			for i := range n.Lhs {
+				if i < len(n.Rhs) && UsesObj(info, n.Rhs[i], obj) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			// Captured by a closure: the closure may discharge it later.
+			if ReferencesObj(info, n.Body, obj) {
+				ok = true
+				return false
+			}
+		case *ast.SendStmt:
+			if UsesObj(info, n.Value, obj) {
+				ok = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// `for _, v := range vs { pool.Put(v) }` over a batch get.
+			if UsesObj(info, n.X, obj) {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// UsesObj reports whether the expression mentions obj at its root
+// (identifier, possibly under unary/index/selector wrapping).
+func UsesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if info.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// ReferencesObj reports whether any identifier in the subtree resolves
+// to obj.
+func ReferencesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

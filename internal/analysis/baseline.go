@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A baseline grandfathers known findings so the CI gate can fail on
+// NEW findings only: grandfathered ones stay visible (printed, and
+// marked "unchanged" in SARIF) but non-fatal, while anything not in the
+// baseline fails the build. Entries match on analyzer + file + message
+// — deliberately not on line, so unrelated edits shifting a finding a
+// few lines don't resurrect it as "new". Matching is count-aware: two
+// identical findings against one baseline entry leave one of them new.
+
+// Baseline is the checked-in grandfather list.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one grandfathered finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is the slash-separated module-relative path.
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want 1)", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline from the given findings, with rel
+// mapping absolute filenames to module-relative paths.
+func NewBaseline(findings []Finding, rel func(string) string) *Baseline {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     filepath.ToSlash(rel(f.Pos.Filename)),
+			Message:  f.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write persists the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff splits findings into new (not grandfathered) and old
+// (grandfathered), and returns the baseline entries that matched
+// nothing — stale grandfather entries the caller should surface so the
+// baseline shrinks over time.
+func (b *Baseline) Diff(findings []Finding, rel func(string) string) (newF, oldF []Finding, stale []BaselineEntry) {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey(e.Analyzer, e.File, e.Message)]++
+	}
+	for _, f := range findings {
+		key := baselineKey(f.Analyzer, filepath.ToSlash(rel(f.Pos.Filename)), f.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			oldF = append(oldF, f)
+		} else {
+			newF = append(newF, f)
+		}
+	}
+	for _, e := range b.Findings {
+		key := baselineKey(e.Analyzer, e.File, e.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			stale = append(stale, e)
+		}
+	}
+	return newF, oldF, stale
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fakeFinding(analyzer, file, message string, line int) Finding {
+	return Finding{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  message,
+	}
+}
+
+func ident(path string) string { return path }
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		fakeFinding("errdrop", "a/b.go", "dropped", 10),
+		fakeFinding("lockorder", "a/c.go", "inverted", 3),
+	}
+	b := NewBaseline(findings, ident)
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got.Findings))
+	}
+	// Entries are sorted by file first.
+	if got.Findings[0].File != "a/b.go" || got.Findings[1].File != "a/c.go" {
+		t.Errorf("entries out of order: %+v", got.Findings)
+	}
+}
+
+// TestBaselineDiffCountAware pins the multiset semantics: two identical
+// findings with one baseline entry means one is grandfathered and the
+// other is new, and line numbers never participate in matching.
+func TestBaselineDiffCountAware(t *testing.T) {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{Analyzer: "errdrop", File: "a/b.go", Message: "dropped"},
+		{Analyzer: "gone", File: "a/b.go", Message: "fixed long ago"},
+	}}
+	findings := []Finding{
+		fakeFinding("errdrop", "a/b.go", "dropped", 99), // moved line: still baselined
+		fakeFinding("errdrop", "a/b.go", "dropped", 120),
+	}
+	newF, oldF, stale := b.Diff(findings, ident)
+	if len(oldF) != 1 || len(newF) != 1 {
+		t.Fatalf("got %d new / %d old, want 1 / 1", len(newF), len(oldF))
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "gone" {
+		t.Fatalf("stale = %+v, want the one fixed-long-ago entry", stale)
+	}
+}
+
+func TestLoadBaselineRejectsBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"version": 9, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want unsupported-version error", err)
+	}
+}
+
+func TestEscapeGitHub(t *testing.T) {
+	in := "50% of\nlines\rdropped"
+	got := escapeGitHub(in)
+	want := "50%25 of%0Alines%0Ddropped"
+	if got != want {
+		t.Errorf("escapeGitHub(%q) = %q, want %q", in, got, want)
+	}
+}

@@ -1,0 +1,258 @@
+// Package boundedalloc is a taint-style check that allocation sizes
+// derived from decoded wire values are bounds-checked before the
+// allocation happens. It covers the decode paths in caformat and
+// cluster: a length field read out of an attacker-supplied byte stream
+// (binary.ByteOrder.Uint16/32/64, or the cursor u8/u16/u32/u64
+// readers) must flow through a relational comparison before it reaches
+// a make() size — the exact bug class the 1 GiB body cap defends
+// against, enforced for every future decode path.
+//
+// The analysis is per-function and flow-insensitive for taint
+// (assignments propagate taint to a fixpoint) but flow-sensitive for
+// sanitization: the cap comparison must appear BEFORE the allocation in
+// source order, so a guard added after the make doesn't count. A
+// builtin min()/max() wrapping is accepted as a sanitizer in place.
+// Growth through append is bounded by the decode loop's own cursor
+// bounds and is not a sink here.
+package boundedalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cacheautomaton/internal/analysis"
+)
+
+// scopedPkgs are the wire-decoding packages under the hostile-length
+// contract.
+var scopedPkgs = map[string]bool{"caformat": true, "cluster": true}
+
+// wireReaders are the cursor-style reader method names treated as taint
+// sources alongside encoding/binary's ByteOrder getters.
+var wireReaders = map[string]bool{"u8": true, "u16": true, "u32": true, "u64": true}
+
+var binaryGetters = map[string]bool{"Uint16": true, "Uint32": true, "Uint64": true}
+
+// Analyzer reports unguarded wire-derived allocation sizes.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "boundedalloc",
+		Doc:       "make sizes derived from decoded wire values must pass a cap comparison before allocation",
+		SkipTests: true,
+		Run:       run,
+	}
+}
+
+func run(u *analysis.Unit) []analysis.Finding {
+	var fs []analysis.Finding
+	for _, fi := range u.Functions() {
+		if !scopedPkgs[fi.Pkg.Name] {
+			continue
+		}
+		fs = append(fs, checkFunc(u, fi)...)
+	}
+	return fs
+}
+
+func checkFunc(u *analysis.Unit, fi *analysis.FuncInfo) []analysis.Finding {
+	info := fi.Pkg.Info
+	body := fi.Decl.Body
+
+	// Pass 1: propagate taint from wire-reader calls through local
+	// assignments to a fixpoint.
+	tainted := make(map[types.Object]bool)
+	analysis.Fixpoint(len(tainted)+8, func() bool {
+		changed := false
+		taint := func(id *ast.Ident) {
+			if id == nil || id.Name == "_" {
+				return
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil && !tainted[obj] {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					// a, b := f(): one tainted result taints every binding.
+					if exprTainted(info, n.Rhs[0], tainted) {
+						for _, lhs := range n.Lhs {
+							id, _ := lhs.(*ast.Ident)
+							taint(id)
+						}
+					}
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if exprTainted(info, n.Rhs[i], tainted) {
+						id, _ := lhs.(*ast.Ident)
+						taint(id)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) && exprTainted(info, n.Values[i], tainted) {
+						taint(name)
+					}
+				}
+			}
+			return true
+		})
+		return changed
+	})
+
+	// Pass 2: record the earliest sanitizing comparison per tainted
+	// object (relational operator mentioning the object).
+	sanitizedAt := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		for obj := range tainted {
+			if analysis.UsesObj(info, be.X, obj) || analysis.UsesObj(info, be.Y, obj) {
+				if prev, seen := sanitizedAt[obj]; !seen || be.Pos() < prev {
+					sanitizedAt[obj] = be.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: check make() size/cap arguments.
+	var fs []analysis.Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call.Fun, "make") || len(call.Args) < 2 {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if name, bad := unguarded(info, arg, tainted, sanitizedAt); bad {
+				fs = append(fs, analysis.Finding{
+					Pos: u.Position(arg.Pos()),
+					Message: fmt.Sprintf("allocation size %s derives from a decoded wire value with no prior bounds check; cap it before make (hostile-length defense)",
+						name),
+				})
+			}
+		}
+		return true
+	})
+	return fs
+}
+
+// unguarded reports whether the size expression is tainted and no
+// sanitizer precedes it. name describes the offending term for the
+// finding.
+func unguarded(info *types.Info, arg ast.Expr, tainted map[types.Object]bool, sanitizedAt map[types.Object]token.Pos) (name string, bad bool) {
+	if !exprTainted(info, arg, tainted) {
+		return "", false
+	}
+	// A direct reader call in the size expression has no variable that
+	// could have been compared: always unguarded.
+	direct := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isBuiltin(info, call.Fun, "min") || isBuiltin(info, call.Fun, "max") {
+				return false // clamped in place
+			}
+			if isWireRead(info, call) {
+				direct = true
+			}
+		}
+		return !direct
+	})
+	if direct {
+		return "(direct wire read)", true
+	}
+	// Otherwise every tainted object mentioned must be sanitized before
+	// this position.
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok &&
+			(isBuiltin(info, call.Fun, "min") || isBuiltin(info, call.Fun, "max")) {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || bad {
+			return !bad
+		}
+		obj := info.Uses[id]
+		if obj != nil && tainted[obj] {
+			if at, guarded := sanitizedAt[obj]; !guarded || at >= arg.Pos() {
+				name, bad = id.Name, true
+			}
+		}
+		return !bad
+	})
+	return name, bad
+}
+
+// exprTainted reports whether e mentions a tainted object or contains a
+// wire-reader call, ignoring subtrees clamped by builtin min/max.
+func exprTainted(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, n.Fun, "min") || isBuiltin(info, n.Fun, "max") {
+				return false
+			}
+			if isWireRead(info, n) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWireRead matches the taint sources: encoding/binary ByteOrder
+// getters and cursor-style u8/u16/u32/u64 reader methods.
+func isWireRead(info *types.Info, call *ast.CallExpr) bool {
+	fn, _, ok := analysis.MethodCall(info, call)
+	if !ok {
+		// ByteOrder interface calls still resolve through Selections, but
+		// cover the qualified form too (binary.LittleEndian.Uint32).
+		fn = analysis.StaticCallee(info, call)
+	}
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" && binaryGetters[fn.Name()] {
+		return true
+	}
+	return wireReaders[fn.Name()]
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}

@@ -1,0 +1,12 @@
+package boundedalloc_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/boundedalloc"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/alloctest", boundedalloc.Analyzer(), false)
+}

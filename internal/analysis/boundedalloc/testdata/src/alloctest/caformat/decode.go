@@ -1,0 +1,82 @@
+package caformat
+
+import "encoding/binary"
+
+// cursor mirrors the production decode cursor: u32 is a wire read.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) u32() uint32 {
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+// decodeUnguarded allocates straight off the wire.
+func decodeUnguarded(c *cursor) []byte {
+	n := int(c.u32())
+	return make([]byte, n) // want "no prior bounds check"
+}
+
+// decodeDirect feeds the reader call straight into make.
+func decodeDirect(c *cursor) []byte {
+	return make([]byte, c.u32()) // want "no prior bounds check"
+}
+
+// decodeDerived: taint survives arithmetic and reassignment.
+func decodeDerived(c *cursor) []int32 {
+	n := int(c.u32())
+	m := n * 4
+	return make([]int32, m) // want "no prior bounds check"
+}
+
+// decodeGuardedTooLate: a comparison after the allocation does not
+// count — the slab already exists.
+func decodeGuardedTooLate(c *cursor) []byte {
+	n := int(c.u32())
+	buf := make([]byte, n) // want "no prior bounds check"
+	if n > len(c.b) {
+		return nil
+	}
+	return buf
+}
+
+// decodeGuarded checks the cap before allocating.
+func decodeGuarded(c *cursor) []byte {
+	n := int(c.u32())
+	if n > len(c.b) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// decodeGuardedCap: the capacity argument follows the same rule.
+func decodeGuardedCap(c *cursor) []byte {
+	n := int(c.u32())
+	if n > len(c.b) {
+		return nil
+	}
+	return make([]byte, 0, n)
+}
+
+// decodeClamped bounds the size in place with builtin min.
+func decodeClamped(c *cursor) []byte {
+	n := int(c.u32())
+	return make([]byte, min(n, 1<<16))
+}
+
+// decodeHeader reads via the binary package directly.
+func decodeHeader(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	if int(n) > len(b) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// untainted sizes never fire.
+func decodeFixed(b []byte) []byte {
+	return make([]byte, 16+len(b))
+}

@@ -1,0 +1,18 @@
+package cluster
+
+import "encoding/binary"
+
+// frame allocates an RPC frame body from an unchecked wire length.
+func frame(b []byte) []byte {
+	n := binary.LittleEndian.Uint64(b)
+	return make([]byte, n) // want "no prior bounds check"
+}
+
+// framedOK caps it first.
+func framedOK(b []byte) []byte {
+	n := binary.LittleEndian.Uint64(b)
+	if n > 1<<20 {
+		return nil
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,3 @@
+module example.com/alloctest
+
+go 1.21

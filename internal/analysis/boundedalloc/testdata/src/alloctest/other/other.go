@@ -1,0 +1,9 @@
+// Package other is outside the caformat/cluster decode scope.
+package other
+
+import "encoding/binary"
+
+func unchecked(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	return make([]byte, n)
+}

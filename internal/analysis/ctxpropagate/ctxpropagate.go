@@ -28,28 +28,19 @@ func Analyzer() *analysis.Analyzer {
 
 func run(u *analysis.Unit) []analysis.Finding {
 	var fs []analysis.Finding
-	for _, pkg := range u.Pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !hasCtxParam(pkg.Info, fd) {
-					continue
-				}
-				fs = append(fs, checkFunc(u, pkg, fd)...)
-			}
+	for _, fi := range u.Functions() {
+		if !hasCtxParam(fi) {
+			continue
 		}
+		fs = append(fs, checkFunc(u, fi.Pkg, fi.Decl)...)
 	}
 	return fs
 }
 
 // hasCtxParam reports whether the function declares a context.Context
 // parameter.
-func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
-	obj, _ := info.Defs[fd.Name].(*types.Func)
-	if obj == nil {
-		return false
-	}
-	params := obj.Type().(*types.Signature).Params()
+func hasCtxParam(fi *analysis.FuncInfo) bool {
+	params := fi.Obj.Type().(*types.Signature).Params()
 	for i := 0; i < params.Len(); i++ {
 		if analysis.IsContextContext(params.At(i).Type()) {
 			return true

@@ -26,28 +26,26 @@ func Analyzer() *analysis.Analyzer {
 
 func run(u *analysis.Unit) []analysis.Finding {
 	var fs []analysis.Finding
-	for _, pkg := range u.Pkgs {
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.ExprStmt:
-					if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
-						if what, critical := criticalCall(pkg.Info, call); critical {
-							fs = append(fs, finding(u, call, what, "discarded"))
-						}
+	u.EachFile(func(pkg *analysis.Pkg, file *ast.File, _ string) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if what, critical := criticalCall(pkg.Info, call); critical {
+						fs = append(fs, finding(u, call, what, "discarded"))
 					}
-				case *ast.AssignStmt:
-					fs = append(fs, checkAssign(u, pkg, n)...)
-				case *ast.DeferStmt, *ast.GoStmt:
-					// `defer f.Close()` at end of scope is the idiomatic
-					// best-effort cleanup; the fsync-before-rename pattern
-					// makes the Close error non-load-bearing there.
-					return false
 				}
-				return true
-			})
-		}
-	}
+			case *ast.AssignStmt:
+				fs = append(fs, checkAssign(u, pkg, n)...)
+			case *ast.DeferStmt, *ast.GoStmt:
+				// `defer f.Close()` at end of scope is the idiomatic
+				// best-effort cleanup; the fsync-before-rename pattern
+				// makes the Close error non-load-bearing there.
+				return false
+			}
+			return true
+		})
+	})
 	return fs
 }
 

@@ -1,0 +1,66 @@
+package goroutinelife_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cacheautomaton/internal/analysis"
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/goroutinelife"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/glifetest", goroutinelife.Analyzer(), false)
+}
+
+// TestMalformedOwner lives outside the golden module because a // want
+// annotation cannot share the directive's own comment (the extra words
+// would make the directive well-formed).
+func TestMalformedOwner(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/ownerbad\n\ngo 1.21\n")
+	write("server/server.go", `package server
+
+func work() {}
+
+func start() {
+	//cavet:owner
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+`)
+	u, err := analysis.Load(analysis.LoadConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := analysis.Run(u, []*analysis.Analyzer{goroutinelife.Analyzer()})
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2 (malformed annotation + unproven goroutine): %v", len(fs), fs)
+	}
+	var sawMalformed, sawLeak bool
+	for _, f := range fs {
+		if strings.Contains(f.Message, "malformed owner annotation") {
+			sawMalformed = true
+		}
+		if strings.Contains(f.Message, "no provable shutdown path") {
+			sawLeak = true
+		}
+	}
+	if !sawMalformed || !sawLeak {
+		t.Fatalf("missing expected findings: %v", fs)
+	}
+}

@@ -1,0 +1,3 @@
+module example.com/glifetest
+
+go 1.21

@@ -1,0 +1,13 @@
+// Package other is outside the server/cluster/telemetry scope: its
+// goroutines are not checked.
+package other
+
+func work() {}
+
+func startUnchecked() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

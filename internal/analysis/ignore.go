@@ -1,9 +1,16 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
+	"sort"
 	"strings"
 )
+
+func position(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}
 
 // Suppressions are written in the source as
 //
@@ -13,19 +20,34 @@ import (
 // reason is mandatory: a suppression without a recorded justification is
 // itself reported as a finding, so "quietly turned the checker off"
 // can't pass review. The analyzer list may be "all".
+//
+// A directive that suppresses nothing is stale and is itself reported
+// as a finding (suppression hygiene): once the underlying finding is
+// fixed or the code moves, the suppression must be deleted, not left to
+// rot. Staleness is only judged against analyzers that actually ran, so
+// a single-analyzer run never misflags directives aimed at the rest of
+// the suite.
 const ignorePrefix = "//cavet:ignore"
 
 // directive is one parsed ignore comment.
 type directive struct {
 	analyzers map[string]bool
 	all       bool
+	raw       string // the analyzer list as written
+	pos       struct {
+		file string
+		line int
+		col  int
+	}
+	used bool // suppressed at least one finding this run
 }
 
 // directiveSet indexes directives by file and line.
 type directiveSet map[string]map[int]*directive
 
 // suppresses reports whether a directive on the finding's line (or the
-// line above it) covers the finding's analyzer.
+// line above it) covers the finding's analyzer, and marks that
+// directive used.
 func (ds directiveSet) suppresses(f Finding) bool {
 	lines := ds[f.Pos.Filename]
 	if lines == nil {
@@ -33,10 +55,54 @@ func (ds directiveSet) suppresses(f Finding) bool {
 	}
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
 		if d := lines[line]; d != nil && (d.all || d.analyzers[f.Analyzer]) {
+			d.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// stale reports a finding for every directive that suppressed nothing,
+// provided every analyzer the directive names was part of this run
+// ("all" directives are always eligible).
+func (ds directiveSet) stale(analyzers []*Analyzer) []Finding {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Finding
+	for _, lines := range ds {
+		for _, d := range lines {
+			if d.used {
+				continue
+			}
+			eligible := true
+			if !d.all {
+				for name := range d.analyzers {
+					if !ran[name] {
+						eligible = false
+						break
+					}
+				}
+			}
+			if !eligible {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      position(d.pos.file, d.pos.line, d.pos.col),
+				Analyzer: "cavet",
+				Message:  fmt.Sprintf("stale suppression: no %s finding on this or the next line; delete the directive", d.raw),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // collectIgnores parses every //cavet:ignore comment in the unit.
@@ -81,13 +147,14 @@ func collectIgnoreComment(u *Unit, ds directiveSet, bad *[]Finding, filename str
 		})
 		return
 	}
-	d := &directive{analyzers: make(map[string]bool)}
+	d := &directive{analyzers: make(map[string]bool), raw: fields[0]}
 	for _, name := range strings.Split(fields[0], ",") {
 		if name == "all" {
 			d.all = true
 		}
 		d.analyzers[name] = true
 	}
+	d.pos.file, d.pos.line, d.pos.col = pos.Filename, pos.Line, pos.Column
 	if ds[filename] == nil {
 		ds[filename] = make(map[int]*directive)
 	}

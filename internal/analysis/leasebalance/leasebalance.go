@@ -3,6 +3,9 @@
 // (or PutAll) and never escapes the function. A leaked lease shrinks
 // the pool until Get blocks every caller — the failure mode is a stall,
 // not a crash, which is exactly why it needs a mechanical check.
+//
+// The discharge engine lives in analysis.CheckBalance, shared with
+// spanbalance; this package only supplies the Pool.Get/GetN matcher.
 package leasebalance
 
 import (
@@ -24,196 +27,32 @@ func Analyzer() *analysis.Analyzer {
 
 func run(u *analysis.Unit) []analysis.Finding {
 	var fs []analysis.Finding
-	for _, pkg := range u.Pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-					fs = append(fs, checkFunc(u, pkg, fd)...)
-				}
-			}
-		}
+	spec := analysis.BalanceSpec{Begin: beginLease}
+	for _, fi := range u.Functions() {
+		fi := fi
+		analysis.CheckBalance(fi.Pkg, fi.Decl, spec, func(n ast.Node, desc string) {
+			fs = append(fs, analysis.Finding{
+				Pos: u.Position(n.Pos()),
+				Message: fmt.Sprintf("lease from %s is never returned with Put/PutAll and does not escape %s; a leaked lease permanently shrinks the pool",
+					desc, fi.Decl.Name.Name),
+			})
+		})
 	}
 	return fs
 }
 
-// poolMethod reports whether call is a Get/GetN or Put/PutAll method on
-// a type named Pool.
-func poolMethod(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
+// beginLease matches Get/GetN method calls on a type named Pool.
+// Put/PutAll are not ends on the lease value itself (they are methods on
+// the pool taking the lease as an argument), so the generic
+// passed-to-a-call escape covers them.
+func beginLease(info *types.Info, call *ast.CallExpr) (string, bool) {
 	fn, named, isMethod := analysis.MethodCall(info, call)
 	if !isMethod || named == nil || named.Obj().Name() != "Pool" {
 		return "", false
 	}
 	switch fn.Name() {
-	case "Get", "GetN", "Put", "PutAll":
-		return fn.Name(), true
+	case "Get", "GetN":
+		return "Pool." + fn.Name(), true
 	}
 	return "", false
-}
-
-type lease struct {
-	obj  types.Object
-	pos  ast.Node
-	call string // Get or GetN
-}
-
-func checkFunc(u *analysis.Unit, pkg *analysis.Pkg, fd *ast.FuncDecl) []analysis.Finding {
-	var leases []*lease
-	var fs []analysis.Finding
-	report := func(n ast.Node, call string) {
-		fs = append(fs, analysis.Finding{
-			Pos: u.Position(n.Pos()),
-			Message: fmt.Sprintf("lease from Pool.%s is never returned with Put/PutAll and does not escape %s; a leaked lease permanently shrinks the pool",
-				call, fd.Name.Name),
-		})
-	}
-
-	// Pass 1: find the Get sites and bind them to variables.
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, rhs := range n.Rhs {
-				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok {
-					continue
-				}
-				name, isPool := poolMethod(pkg.Info, call)
-				if !isPool || (name != "Get" && name != "GetN") {
-					continue
-				}
-				// m, err := pool.Get(): the lease is the first LHS.
-				if len(n.Lhs) == 0 {
-					continue
-				}
-				id, isIdent := n.Lhs[0].(*ast.Ident)
-				if !isIdent || id.Name == "_" {
-					report(call, name)
-					continue
-				}
-				obj := pkg.Info.Defs[id]
-				if obj == nil {
-					obj = pkg.Info.Uses[id]
-				}
-				if obj == nil {
-					continue
-				}
-				leases = append(leases, &lease{obj: obj, pos: call, call: name})
-			}
-		case *ast.ExprStmt:
-			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
-				if name, isPool := poolMethod(pkg.Info, call); isPool && (name == "Get" || name == "GetN") {
-					report(call, name)
-				}
-			}
-		}
-		return true
-	})
-	if len(leases) == 0 {
-		return fs
-	}
-
-	// Pass 2: for each lease variable, look for a discharging use.
-	for _, l := range leases {
-		if !discharged(pkg.Info, fd, l.obj) {
-			report(l.pos, l.call)
-		}
-	}
-	return fs
-}
-
-// discharged reports whether obj (a lease variable) is either returned
-// to its pool or escapes the function: passed to any call, returned,
-// stored into a struct/map/slice, or captured by a closure. Any of
-// these transfers responsibility; only a value that provably dies in
-// this function without a Put is a leak.
-func discharged(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
-	ok := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if ok {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			// Put/PutAll on the lease, or the lease passed to any call
-			// (helper may release it), or a method called on the lease
-			// value that could hand it off.
-			for _, a := range n.Args {
-				if usesObj(info, a, obj) {
-					ok = true
-					return false
-				}
-			}
-		case *ast.ReturnStmt:
-			for _, r := range n.Results {
-				if usesObj(info, r, obj) {
-					ok = true
-					return false
-				}
-			}
-		case *ast.CompositeLit:
-			for _, el := range n.Elts {
-				if usesObj(info, el, obj) {
-					ok = true
-					return false
-				}
-			}
-		case *ast.AssignStmt:
-			// Stored somewhere (field, map/slice element) or aliased into
-			// another variable; either way responsibility moved beyond the
-			// binding we track, so stay silent rather than false-positive.
-			for i := range n.Lhs {
-				if i < len(n.Rhs) && usesObj(info, n.Rhs[i], obj) {
-					ok = true
-					return false
-				}
-			}
-		case *ast.FuncLit:
-			// Captured by a closure: the closure may Put it later.
-			if referencesObj(info, n.Body, obj) {
-				ok = true
-				return false
-			}
-		case *ast.SendStmt:
-			if usesObj(info, n.Value, obj) {
-				ok = true
-				return false
-			}
-		case *ast.RangeStmt:
-			// `for _, m := range ms { pool.Put(m) }` over a GetN slice.
-			if usesObj(info, n.X, obj) {
-				ok = true
-				return false
-			}
-		}
-		return true
-	})
-	return ok
-}
-
-// usesObj reports whether the expression mentions obj at its root
-// (identifier, possibly under unary/index/selector wrapping).
-func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if info.Uses[id] == obj {
-				found = true
-				return false
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// referencesObj reports whether any identifier in the subtree resolves
-// to obj.
-func referencesObj(info *types.Info, n ast.Node, obj types.Object) bool {
-	found := false
-	ast.Inspect(n, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
-			found = true
-		}
-		return !found
-	})
-	return found
 }

@@ -1,0 +1,100 @@
+package lockorder
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDesignTableMatchesOrder keeps DESIGN.md's human-readable lock
+// table and the machine-readable Order in lockstep: every class must
+// appear in both with the same rank. The analyzer enforces Order; the
+// doc is what reviewers read — if they diverge, people reason from a
+// table the tooling isn't checking.
+func TestDesignTableMatchesOrder(t *testing.T) {
+	doc := parseDesignTable(t)
+
+	code := make(map[string]int, len(Order))
+	for _, l := range Order {
+		code[l.Class] = l.Rank
+	}
+
+	for class, rank := range code {
+		got, ok := doc[class]
+		if !ok {
+			t.Errorf("DESIGN.md lock table is missing %s (rank %d from lockorder.Order)", class, rank)
+		} else if got != rank {
+			t.Errorf("DESIGN.md ranks %s at %d, lockorder.Order at %d", class, got, rank)
+		}
+	}
+	for class, rank := range doc {
+		if _, ok := code[class]; !ok {
+			t.Errorf("DESIGN.md lock table lists %s (rank %d) which lockorder.Order does not know", class, rank)
+		}
+	}
+}
+
+// parseDesignTable extracts {class: rank} from the markdown table that
+// follows the `| rank | lock class` header in DESIGN.md.
+func parseDesignTable(t *testing.T) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(repoRoot(t), "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\s*\\|\\s*(\\d+)\\s*\\|\\s*`([^`]+)`")
+	doc := make(map[string]int)
+	inTable := false
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case !inTable:
+			if strings.Contains(line, "| rank |") && strings.Contains(line, "lock class") {
+				inTable = true
+			}
+		case strings.HasPrefix(strings.TrimSpace(line), "|"):
+			m := row.FindStringSubmatch(line)
+			if m == nil {
+				continue // separator row
+			}
+			rank, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatalf("bad rank in DESIGN.md row %q: %v", line, err)
+			}
+			if prev, dup := doc[m[2]]; dup {
+				t.Fatalf("DESIGN.md lists %s twice (ranks %d and %d)", m[2], prev, rank)
+			}
+			doc[m[2]] = rank
+		default:
+			if len(doc) == 0 {
+				t.Fatal("no data rows under the lock table header")
+			}
+			return doc
+		}
+	}
+	if len(doc) == 0 {
+		t.Fatal("lock table header not found in DESIGN.md")
+	}
+	return doc
+}
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -50,23 +50,16 @@ func run(u *analysis.Unit, order []Level, leaf int) []analysis.Finding {
 	g := &graph{u: u, sums: make(map[string]*summary), edges: make(map[edge]token.Pos)}
 	// Interprocedural fixpoint: re-walk every function until no summary
 	// grows. Acquire sets only ever grow, so this terminates; the module
-	// call graph is shallow, so a handful of passes suffice.
-	for pass := 0; pass < 12; pass++ {
+	// call graph is shallow, so a handful of passes suffice. The
+	// function index comes from the shared summary layer, so the walk
+	// shares its per-decl enumeration with every other analyzer.
+	analysis.Fixpoint(12, func() bool {
 		g.changed = false
-		for _, pkg := range u.Pkgs {
-			for _, file := range pkg.Files {
-				for _, decl := range file.Decls {
-					fd, ok := decl.(*ast.FuncDecl)
-					if ok && fd.Body != nil {
-						g.walkFunc(pkg, fd)
-					}
-				}
-			}
+		for _, fi := range u.Functions() {
+			g.walkFunc(fi.Pkg, fi.Decl)
 		}
-		if !g.changed {
-			break
-		}
-	}
+		return g.changed
+	})
 
 	if os.Getenv("CAVET_LOCKGRAPH") != "" {
 		dumpGraph(g)

@@ -40,37 +40,35 @@ type site struct {
 func run(u *analysis.Unit) []analysis.Finding {
 	var sites []site
 	var fs []analysis.Finding
-	for _, pkg := range u.Pkgs {
-		for i, file := range pkg.Files {
-			if analysis.IsTestFile(pkg.Filenames[i]) {
-				continue
-			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				kind, ok := registryCall(pkg.Info, call)
-				if !ok || len(call.Args) == 0 {
-					return true
-				}
-				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
-				if !ok {
-					fs = append(fs, analysis.Finding{
-						Pos:     u.Position(call.Args[0].Pos()),
-						Message: "metric name must be a string literal so the naming contract is statically checkable",
-					})
-					return true
-				}
-				name, err := strconv.Unquote(lit.Value)
-				if err != nil {
-					return true
-				}
-				sites = append(sites, site{pos: call, pkg: pkg, kind: kind, name: name})
-				return true
-			})
+	u.EachFile(func(pkg *analysis.Pkg, file *ast.File, filename string) {
+		if analysis.IsTestFile(filename) {
+			return
 		}
-	}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryCall(pkg.Info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				fs = append(fs, analysis.Finding{
+					Pos:     u.Position(call.Args[0].Pos()),
+					Message: "metric name must be a string literal so the naming contract is statically checkable",
+				})
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			sites = append(sites, site{pos: call, pkg: pkg, kind: kind, name: name})
+			return true
+		})
+	})
 
 	byName := make(map[string][]site)
 	for _, s := range sites {

@@ -1,0 +1,139 @@
+// Package seamcover keeps the chaos harness honest: every outbound
+// network call in the server and cluster packages must be reachable
+// from a registered faults.Check seam, so new egress paths cannot
+// silently escape fault injection. A call site is covered when its
+// enclosing function contains a faults.Check itself, or when every
+// in-module static caller of that function is (transitively) covered —
+// i.e. every path into the egress goes through a seam.
+//
+// Sinks are the transport-level egress calls: net/http Client methods
+// (Do/Get/Post/PostForm/Head), the package-level net/http request
+// helpers, and net dialers. Listening sockets are not sinks (inbound).
+package seamcover
+
+import (
+	"go/ast"
+
+	"cacheautomaton/internal/analysis"
+)
+
+// scopedPkgs are the packages whose egress must sit behind seams.
+var scopedPkgs = map[string]bool{"server": true, "cluster": true}
+
+var clientMethods = map[string]bool{"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true}
+var httpFuncs = map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true}
+var netDialers = map[string]bool{"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true, "DialIP": true, "DialUnix": true}
+
+// Analyzer reports outbound calls unreachable from any faults.Check
+// seam.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "seamcover",
+		Doc:       "every outbound network call in server/cluster must be reachable from a faults.Check seam",
+		SkipTests: true,
+		Run:       run,
+	}
+}
+
+func run(u *analysis.Unit) []analysis.Finding {
+	cg := u.CallGraph()
+
+	// Seam functions: contain a direct faults.Check call.
+	covered := make(map[string]bool)
+	for name, fi := range cg.ByName {
+		fi := fi
+		found := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isFaultsCheck(fi.Pkg, call) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			covered[name] = true
+		}
+	}
+
+	// Propagate: a function whose in-module callers are all covered is
+	// itself covered (every path in goes through a seam).
+	analysis.Fixpoint(len(cg.ByName)+1, func() bool {
+		changed := false
+		for name := range cg.ByName {
+			if covered[name] {
+				continue
+			}
+			callers := cg.Callers[name]
+			if len(callers) == 0 {
+				continue
+			}
+			all := true
+			for _, e := range callers {
+				if !covered[e.Caller] {
+					all = false
+					break
+				}
+			}
+			if all {
+				covered[name] = true
+				changed = true
+			}
+		}
+		return changed
+	})
+
+	var fs []analysis.Finding
+	for _, fi := range u.Functions() {
+		if !scopedPkgs[fi.Pkg.Name] || covered[fi.FullName()] {
+			continue
+		}
+		fi := fi
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSink(fi.Pkg, call) {
+				return true
+			}
+			fs = append(fs, analysis.Finding{
+				Pos:     u.Position(call.Pos()),
+				Message: "outbound network call is not reachable from any faults.Check seam; register an injection seam so the chaos harness can fault this path",
+			})
+			return true
+		})
+	}
+	return fs
+}
+
+// isFaultsCheck matches calls to a function named Check in a package
+// named faults (matching by package name lets analysistest modules
+// stub the seam registry).
+func isFaultsCheck(pkg *analysis.Pkg, call *ast.CallExpr) bool {
+	fn := analysis.StaticCallee(pkg.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "faults" && fn.Name() == "Check"
+}
+
+// isSink matches transport-level egress calls.
+func isSink(pkg *analysis.Pkg, call *ast.CallExpr) bool {
+	if fn, named, ok := analysis.MethodCall(pkg.Info, call); ok && named != nil && named.Obj().Pkg() != nil {
+		pkgPath, typ := named.Obj().Pkg().Path(), named.Obj().Name()
+		if pkgPath == "net/http" && typ == "Client" && clientMethods[fn.Name()] {
+			return true
+		}
+		if pkgPath == "net" && typ == "Dialer" && (fn.Name() == "Dial" || fn.Name() == "DialContext") {
+			return true
+		}
+		return false
+	}
+	fn := analysis.StaticCallee(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "net/http":
+		return httpFuncs[fn.Name()]
+	case "net":
+		return netDialers[fn.Name()]
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package seamcover_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/seamcover"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/seamtest", seamcover.Analyzer(), false)
+}

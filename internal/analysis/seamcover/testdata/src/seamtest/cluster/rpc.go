@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+
+	"example.com/seamtest/faults"
+)
+
+// Client mirrors the production RPC client.
+type Client struct{ h *http.Client }
+
+// rpcOnce is the canonical shape: the seam sits right next to the
+// egress in the same function.
+func (c *Client) rpcOnce(url string) (*http.Response, error) {
+	if err := faults.Check("cluster.rpc"); err != nil {
+		return nil, err
+	}
+	return c.h.Get(url)
+}
+
+// do has no seam of its own, but every caller is covered, so every
+// path into the egress goes through a seam.
+func (c *Client) do(url string) (*http.Response, error) {
+	return c.h.Get(url)
+}
+
+func (c *Client) covered(url string) {
+	if err := faults.Check("cluster.rpc.do"); err != nil {
+		return
+	}
+	_, _ = c.do(url)
+}
+
+// probe has no seam and no covered caller.
+func (c *Client) probe(url string) (*http.Response, error) {
+	return c.h.Get(url) // want "not reachable from any faults.Check seam"
+}
+
+// send is reachable both through a seam and around it: one uncovered
+// caller uncovers the egress.
+func (c *Client) send(url string) {
+	_, _ = c.h.Get(url) // want "not reachable from any faults.Check seam"
+}
+
+func (c *Client) okCaller(url string) {
+	if err := faults.Check("cluster.rpc.send"); err != nil {
+		return
+	}
+	c.send(url)
+}
+
+func (c *Client) badCaller(url string) {
+	c.send(url)
+}
+
+// dial covers the raw-dial sink.
+func (c *Client) dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "not reachable from any faults.Check seam"
+}

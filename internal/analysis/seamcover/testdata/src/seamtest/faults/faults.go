@@ -1,0 +1,5 @@
+// Package faults mirrors the production injection-seam registry.
+package faults
+
+// Check consults the registry at a named seam.
+func Check(name string) error { return nil }

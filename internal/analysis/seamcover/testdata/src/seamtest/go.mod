@@ -1,0 +1,3 @@
+module example.com/seamtest
+
+go 1.21

@@ -1,0 +1,8 @@
+// Package other is outside the server/cluster egress scope.
+package other
+
+import "net/http"
+
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}

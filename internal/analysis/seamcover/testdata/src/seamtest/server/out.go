@@ -1,0 +1,8 @@
+package server
+
+import "net/http"
+
+// fetch uses the package-level helper with no seam anywhere above it.
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url) // want "not reachable from any faults.Check seam"
+}

@@ -1,0 +1,125 @@
+// Package singleattempt enforces the cluster feed's delivery contract:
+// feed RPCs are sent at most once per target, because recovery is
+// checkpoint failover by design — a blind retry of a feed can replay
+// byte deltas into a stream whose offset already advanced. The
+// analyzer flags any call that (transitively, via the shared callgraph)
+// reaches the feed RPC when that call sits inside a for/range loop or
+// inside a callback handed to retry.Policy.Do/Attempts.
+//
+// The one legitimate loop — Router.Feed's checkpoint-failover loop,
+// which re-homes the session to a different node before every
+// re-attempt — carries a justified //cavet:ignore suppression; that is
+// the documented pattern for genuinely-failover loops.
+package singleattempt
+
+import (
+	"go/ast"
+
+	"cacheautomaton/internal/analysis"
+)
+
+// feedFuncName is the wire-level single-attempt feed call in a cluster
+// package.
+const feedFuncName = "nodeFeed"
+
+// Analyzer reports retried or loop-wrapped feed RPCs.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "singleattempt",
+		Doc:       "cluster feed RPCs must not be wrapped in retry.Policy or a loop; recovery is checkpoint failover",
+		SkipTests: true,
+		Run:       run,
+	}
+}
+
+func run(u *analysis.Unit) []analysis.Finding {
+	cg := u.CallGraph()
+	var seeds []string
+	for name, fi := range cg.ByName {
+		if fi.Obj.Name() == feedFuncName && fi.Pkg.Name == "cluster" {
+			seeds = append(seeds, name)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil
+	}
+	reachesFeed := cg.ReverseReachable(seeds)
+
+	callee := func(pkg *analysis.Pkg, call *ast.CallExpr) (string, bool) {
+		fn := analysis.StaticCallee(pkg.Info, call)
+		if fn == nil {
+			return "", false
+		}
+		return fn.FullName(), reachesFeed[fn.FullName()]
+	}
+
+	var fs []analysis.Finding
+	reported := make(map[string]bool) // nested loops see the same call twice
+	report := func(pkg *analysis.Pkg, call *ast.CallExpr, how string) {
+		pos := u.Position(call.Pos())
+		if reported[pos.String()] {
+			return
+		}
+		reported[pos.String()] = true
+		fs = append(fs, analysis.Finding{
+			Pos: pos,
+			Message: "call reaches the cluster feed RPC from inside a " + how +
+				"; feeds are single-attempt by design (recovery is checkpoint failover, a retried feed can replay deltas)",
+		})
+	}
+
+	for _, fi := range u.Functions() {
+		fi := fi
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				flagFeedCalls(fi.Pkg, n.Body, callee, func(c *ast.CallExpr) { report(fi.Pkg, c, "loop") })
+			case *ast.RangeStmt:
+				flagFeedCalls(fi.Pkg, n.Body, callee, func(c *ast.CallExpr) { report(fi.Pkg, c, "loop") })
+			case *ast.CallExpr:
+				if isRetryWrap(fi.Pkg, n) {
+					for _, arg := range n.Args {
+						switch a := ast.Unparen(arg).(type) {
+						case *ast.FuncLit:
+							flagFeedCalls(fi.Pkg, a.Body, callee, func(c *ast.CallExpr) { report(fi.Pkg, c, "retry.Policy callback") })
+						case *ast.Ident, *ast.SelectorExpr:
+							if fn := analysis.StaticCallee(fi.Pkg.Info, &ast.CallExpr{Fun: arg}); fn != nil && reachesFeed[fn.FullName()] {
+								report(fi.Pkg, n, "retry.Policy callback")
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// flagFeedCalls reports every call under root whose static callee
+// reaches the feed RPC. Direct loop nesting is enough — nested loops
+// re-flag the same call only once because Inspect runs per loop body
+// and the finding positions dedup in the sorted output.
+func flagFeedCalls(pkg *analysis.Pkg, root ast.Node, callee func(*analysis.Pkg, *ast.CallExpr) (string, bool), hit func(*ast.CallExpr)) {
+	seen := make(map[*ast.CallExpr]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && !seen[call] {
+			seen[call] = true
+			if _, reaches := callee(pkg, call); reaches {
+				hit(call)
+			}
+		}
+		return true
+	})
+}
+
+// isRetryWrap matches Do/Attempts method calls on a type named Policy
+// in a package named retry.
+func isRetryWrap(pkg *analysis.Pkg, call *ast.CallExpr) bool {
+	fn, named, ok := analysis.MethodCall(pkg.Info, call)
+	if !ok || named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Policy" && named.Obj().Pkg().Name() == "retry" &&
+		(fn.Name() == "Do" || fn.Name() == "Attempts")
+}

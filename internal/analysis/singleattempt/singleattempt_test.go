@@ -1,0 +1,12 @@
+package singleattempt_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/singleattempt"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/satest", singleattempt.Analyzer(), false)
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import "example.com/satest/retry"
+
+// Router mirrors the production cluster router.
+type Router struct{}
+
+// nodeFeed is the wire-level feed RPC: single-attempt by contract.
+func (r *Router) nodeFeed(node string) (int, error) { return 0, nil }
+
+// feedOnce reaches the feed through one helper hop.
+func (r *Router) feedOnce() error {
+	_, err := r.nodeFeed("a")
+	return err
+}
+
+// single is fine: one attempt, no loop.
+func (r *Router) single() error { return r.feedOnce() }
+
+// loopDirect wraps the feed RPC in a counted loop.
+func (r *Router) loopDirect() {
+	for i := 0; i < 3; i++ {
+		_, _ = r.nodeFeed("a") // want "feeds are single-attempt"
+	}
+}
+
+// loopViaHelper reaches the feed interprocedurally from a range loop.
+func (r *Router) loopViaHelper(nodes []string) {
+	for range nodes {
+		_ = r.feedOnce() // want "feeds are single-attempt"
+	}
+}
+
+// retried wraps the feed in a retry.Policy callback.
+func (r *Router) retried(p retry.Policy) error {
+	return p.Do(func() error {
+		return r.feedOnce() // want "retry.Policy callback"
+	})
+}
+
+// retriedNamed hands the policy a method value that reaches the feed.
+func (r *Router) retriedNamed(p retry.Policy) error {
+	return p.Do(r.feedOnce) // want "retry.Policy callback"
+}
+
+// retriedAttempts covers the Attempts entry point.
+func (r *Router) retriedAttempts(p retry.Policy) error {
+	return p.Attempts(func(n int) error {
+		return r.feedOnce() // want "retry.Policy callback"
+	})
+}
+
+// retriedOther is fine: the callback does not reach a feed.
+func (r *Router) retriedOther(p retry.Policy) error {
+	return p.Do(func() error { return nil })
+}
+
+// loopOther is fine: the loop body does not reach a feed.
+func (r *Router) loopOther(nodes []string) {
+	for range nodes {
+		_ = r.single
+	}
+}
+
+// failover documents the one legitimate loop with a justified
+// suppression: the session is re-homed before every re-attempt.
+func (r *Router) failover(nodes []string) {
+	for range nodes {
+		//cavet:ignore singleattempt failover re-homes the session to a fresh node before each attempt
+		_ = r.feedOnce()
+	}
+}

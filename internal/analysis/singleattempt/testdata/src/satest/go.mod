@@ -1,0 +1,3 @@
+module example.com/satest
+
+go 1.21

@@ -1,0 +1,11 @@
+// Package retry mirrors the production retry surface.
+package retry
+
+// Policy is a bounded retry policy.
+type Policy struct{ Max int }
+
+// Do retries f under the policy.
+func (p Policy) Do(f func() error) error { return f() }
+
+// Attempts retries f, passing the attempt number.
+func (p Policy) Attempts(f func(int) error) error { return f(0) }

@@ -1,0 +1,62 @@
+// Package spanbalance flags flight-recorder spans that are started but
+// never ended: a telemetry.ReqTrace.StartStage whose *Span is neither
+// End()ed on some path nor handed off (returned, passed to a helper,
+// stored, captured). An unbalanced span leaves a stage permanently
+// "open" in the flight recorder, corrupting per-stage latency
+// accounting and the drain-time trace dump.
+//
+// This is the leasebalance discharge machinery (analysis.CheckBalance)
+// pointed at a different begin/end pair: begin = ReqTrace.StartStage,
+// end = Span.End (or any escape). Test files are skipped — tests start
+// spans deliberately left open to exercise the recorder's truncation
+// path.
+package spanbalance
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"cacheautomaton/internal/analysis"
+)
+
+// Analyzer reports unbalanced flight-recorder spans.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "spanbalance",
+		Doc:       "every ReqTrace.StartStage span must be ended with End or escape the function",
+		SkipTests: true,
+		Run:       run,
+	}
+}
+
+func run(u *analysis.Unit) []analysis.Finding {
+	var fs []analysis.Finding
+	spec := analysis.BalanceSpec{
+		Begin:      beginSpan,
+		EndMethods: map[string]bool{"End": true},
+	}
+	for _, fi := range u.Functions() {
+		fi := fi
+		analysis.CheckBalance(fi.Pkg, fi.Decl, spec, func(n ast.Node, desc string) {
+			fs = append(fs, analysis.Finding{
+				Pos: u.Position(n.Pos()),
+				Message: fmt.Sprintf("span from %s is never ended with End and does not escape %s; an open span corrupts the flight recorder's stage accounting",
+					desc, fi.Decl.Name.Name),
+			})
+		})
+	}
+	return fs
+}
+
+// beginSpan matches StartStage method calls on a type named ReqTrace.
+func beginSpan(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn, named, isMethod := analysis.MethodCall(info, call)
+	if !isMethod || named == nil || named.Obj().Name() != "ReqTrace" {
+		return "", false
+	}
+	if fn.Name() != "StartStage" {
+		return "", false
+	}
+	return "ReqTrace.StartStage", true
+}

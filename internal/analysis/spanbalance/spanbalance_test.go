@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"cacheautomaton/internal/analysis/analysistest"
+	"cacheautomaton/internal/analysis/spanbalance"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/src/spantest", spanbalance.Analyzer(), false)
+}

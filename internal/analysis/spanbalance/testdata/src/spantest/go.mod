@@ -1,0 +1,3 @@
+module example.com/spantest
+
+go 1.21

@@ -1,0 +1,18 @@
+// Package telemetry mirrors the production flight-recorder surface:
+// ReqTrace.StartStage returns a *Span that must be End()ed.
+package telemetry
+
+// Span is one recorded stage.
+type Span struct{ note string }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// SetNote attaches a label without closing the span.
+func (s *Span) SetNote(note string) { s.note = note }
+
+// ReqTrace is the per-request flight recorder.
+type ReqTrace struct{}
+
+// StartStage opens a span.
+func (rt *ReqTrace) StartStage(name string) *Span { return &Span{} }

@@ -1,0 +1,82 @@
+package use
+
+import "example.com/spantest/telemetry"
+
+func work() {}
+
+// leak starts a span and only labels it: never ended, never escapes.
+func leak(rt *telemetry.ReqTrace) {
+	sp := rt.StartStage("compile") // want "never ended with End"
+	sp.SetNote("leaky")
+}
+
+// discarded drops the span on the floor at the call site.
+func discarded(rt *telemetry.ReqTrace) {
+	rt.StartStage("open") // want "never ended with End"
+	work()
+}
+
+// blanked assigns the span to _, which is the same as discarding it.
+func blanked(rt *telemetry.ReqTrace) {
+	_ = rt.StartStage("blank") // want "never ended with End"
+}
+
+// balancedDefer is the idiomatic pairing.
+func balancedDefer(rt *telemetry.ReqTrace) {
+	sp := rt.StartStage("match")
+	defer sp.End()
+	work()
+}
+
+// balancedDirect ends on the straight-line path.
+func balancedDirect(rt *telemetry.ReqTrace) {
+	sp := rt.StartStage("feed")
+	work()
+	sp.End()
+}
+
+// balancedChained never binds the span at all.
+func balancedChained(rt *telemetry.ReqTrace) {
+	rt.StartStage("tick").End()
+}
+
+// escapesReturn hands the open span to the caller.
+func escapesReturn(rt *telemetry.ReqTrace) *telemetry.Span {
+	return rt.StartStage("drain")
+}
+
+// escapesVar returns the span through a variable.
+func escapesVar(rt *telemetry.ReqTrace) *telemetry.Span {
+	sp := rt.StartStage("drain2")
+	sp.SetNote("handed off")
+	return sp
+}
+
+// escapesHelper delegates the End to a helper.
+func escapesHelper(rt *telemetry.ReqTrace) {
+	sp := rt.StartStage("flush")
+	finish(sp)
+}
+
+func finish(sp *telemetry.Span) { sp.End() }
+
+// escapesClosure captures the span; the closure owns the End.
+func escapesClosure(rt *telemetry.ReqTrace) func() {
+	sp := rt.StartStage("bg")
+	return func() { sp.End() }
+}
+
+// suppressed documents a deliberately-open span.
+func suppressed(rt *telemetry.ReqTrace) {
+	//cavet:ignore spanbalance deliberately left open to exercise recorder truncation
+	sp := rt.StartStage("trunc")
+	sp.SetNote("kept open")
+}
+
+// staleDirective carries a suppression that no longer suppresses
+// anything; the hygiene check flags it.
+func staleDirective(rt *telemetry.ReqTrace) {
+	//cavet:ignore spanbalance obsolete justification // want "stale suppression"
+	sp := rt.StartStage("ok")
+	sp.End()
+}

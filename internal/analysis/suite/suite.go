@@ -6,11 +6,16 @@ package suite
 import (
 	"cacheautomaton/internal/analysis"
 	"cacheautomaton/internal/analysis/atomicmix"
+	"cacheautomaton/internal/analysis/boundedalloc"
 	"cacheautomaton/internal/analysis/ctxpropagate"
 	"cacheautomaton/internal/analysis/errdrop"
+	"cacheautomaton/internal/analysis/goroutinelife"
 	"cacheautomaton/internal/analysis/leasebalance"
 	"cacheautomaton/internal/analysis/lockorder"
 	"cacheautomaton/internal/analysis/metricname"
+	"cacheautomaton/internal/analysis/seamcover"
+	"cacheautomaton/internal/analysis/singleattempt"
+	"cacheautomaton/internal/analysis/spanbalance"
 )
 
 // All returns the full analyzer suite in stable order.
@@ -22,5 +27,10 @@ func All() []*analysis.Analyzer {
 		errdrop.Analyzer(),
 		atomicmix.Analyzer(),
 		metricname.Analyzer(),
+		spanbalance.Analyzer(),
+		goroutinelife.Analyzer(),
+		boundedalloc.Analyzer(),
+		singleattempt.Analyzer(),
+		seamcover.Analyzer(),
 	}
 }

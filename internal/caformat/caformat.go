@@ -322,6 +322,13 @@ func decodeBody(b []byte) (*mapper.Placement, []string, error) {
 		}
 		totalEdges += deg
 	}
+	// Belt and braces on top of the pre-scan's fit check: each counted
+	// edge occupies 4 encoded bytes, so the total can never exceed a
+	// quarter of the buffer. A future edit to the pre-scan must not be
+	// able to turn a hostile out-degree into a giant allocation.
+	if totalEdges > len(c.b)/4 {
+		return nil, nil, fmt.Errorf("caformat: %d total edges exceed the %d-byte states section", totalEdges, len(c.b))
+	}
 	edgeSlab := make([]nfa.StateID, totalEdges)
 	pl.NFA.States = make([]nfa.State, numStates)
 	for s := range pl.NFA.States {

@@ -165,6 +165,18 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 			t.Fatal("decode accepted empty body")
 		}
 	})
+	t.Run("hostile out-degree", func(t *testing.T) {
+		// Rewrite the first state's out-degree to ~2^31 with a correct CRC.
+		// The pre-scan must refuse to count it toward the shared edge slab
+		// and the record loop must reject it — a giant declared degree can
+		// never become a giant allocation.
+		body := append([]byte(nil), data[16:]...)
+		const degOff = 24 + 38 // header fields, then the first record's degree field
+		body[degOff], body[degOff+1], body[degOff+2], body[degOff+3] = 0xff, 0xff, 0xff, 0x7f
+		if _, _, err := Decode(bytes.NewReader(Frame(body))); err == nil || !strings.Contains(err.Error(), "out-degree") {
+			t.Fatalf("err = %v, want out-degree error", err)
+		}
+	})
 	t.Run("counts exceeding body", func(t *testing.T) {
 		// Valid header fields but a state count far beyond the bytes present.
 		body := make([]byte, 24)

@@ -38,6 +38,7 @@ func StartLocalNode(id string, cfg server.Config) (*LocalNode, error) {
 		lis:     lis,
 		httpSrv: &http.Server{Handler: srv.Handler()},
 	}
+	//cavet:owner cluster.LocalNode http.Server.Close (via Kill/Shutdown) unblocks Serve
 	go func() { _ = n.httpSrv.Serve(lis) }()
 	return n, nil
 }

@@ -636,12 +636,12 @@ func (r *Router) memberURL(id string) (string, error) {
 // skip the proxy hop fetch it, route matches to any holder of their
 // rule set, and re-fetch when their cached version goes stale.
 type Table struct {
-	Version  uint64            `json:"version"`
-	Replicas int               `json:"replicas"`
-	Quorum   bool              `json:"quorum"`
-	Nodes    []TableNode       `json:"nodes"`
+	Version  uint64                  `json:"version"`
+	Replicas int                     `json:"replicas"`
+	Quorum   bool                    `json:"quorum"`
+	Nodes    []TableNode             `json:"nodes"`
 	Rulesets map[string]TableRuleset `json:"rulesets,omitempty"`
-	Sessions int               `json:"sessions"`
+	Sessions int                     `json:"sessions"`
 }
 
 // TableNode is one member's routing entry.

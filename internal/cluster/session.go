@@ -88,6 +88,7 @@ func (r *Router) Feed(ctx context.Context, id string, req server.FeedRequest) (*
 	}
 	var lastErr error
 	for attempt := 0; attempt <= r.memberCount(); attempt++ {
+		//cavet:ignore singleattempt failover loop re-homes the session to a fresh node (failoverLocked) before every re-attempt; never a same-node blind resend
 		resp, err := r.nodeFeed(ctx, cs.node, cs.localID, req)
 		if err == nil {
 			cs.pos = resp.Pos

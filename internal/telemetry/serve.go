@@ -48,6 +48,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s := &Server{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	//cavet:owner telemetry.Server http.Server.Close (via Server.Close) unblocks Serve
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
